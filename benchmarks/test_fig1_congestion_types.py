@@ -1,0 +1,125 @@
+"""Fig. 1 — local vs global routing congestion, and BB mis-attribution.
+
+(a) Constructs the two congestion mechanisms of Fig. 1a on one die:
+    a dense cell cluster (local congestion: too many cells in a region)
+    and a bundle of nets crossing an empty corridor (global congestion:
+    many nets traverse G-cells with no cells in them), then verifies the
+    router sees both.
+
+(b) Reproduces the Fig. 1b argument: a net whose bounding box contains
+    congestion *not caused by the net* is penalized by the BB-based
+    RUDY estimate, while the paper's virtual-cell construction only
+    reacts to congestion actually on the net's segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.netmove import virtual_cell_positions
+from repro.geometry import Grid2D, Rect
+from repro.netlist import CellSpec, Netlist, NetSpec, PinSpec
+from repro.route import GlobalRouter, RouterConfig, rudy_map
+
+
+def _two_mechanism_design():
+    """Left half: dense cluster.  Right half: bundle over empty space."""
+    die = Rect(0, 0, 24, 24)
+    cells = []
+    nets = []
+    # local congestion: 64 cells packed into a 3x3 region, all connected
+    for k in range(64):
+        cells.append(
+            CellSpec(f"L{k}", 0.5, 1.0, x=4 + 0.2 * (k % 8), y=10 + 0.4 * (k // 8))
+        )
+    for k in range(0, 63, 2):
+        nets.append(NetSpec(f"ln{k}", [PinSpec(f"L{k}"), PinSpec(f"L{k+1}")]))
+    # global congestion: 24 two-pin nets from bottom-right to top-right,
+    # crossing an empty vertical corridor at x ~ 18
+    for k in range(24):
+        cells.append(CellSpec(f"A{k}", 0.5, 1.0, x=16 + 0.2 * k, y=2.0))
+        cells.append(CellSpec(f"B{k}", 0.5, 1.0, x=16 + 0.2 * k, y=22.0))
+        nets.append(NetSpec(f"gn{k}", [PinSpec(f"A{k}"), PinSpec(f"B{k}")]))
+    return Netlist.from_specs("fig1", die, cells, nets)
+
+
+def test_fig1_local_vs_global_congestion(benchmark):
+    netlist = _two_mechanism_design()
+    grid = Grid2D(netlist.die, 24, 24)
+
+    def experiment():
+        return GlobalRouter(grid, RouterConfig(wire_pitch=0.4)).route(netlist)
+
+    result = run_once(benchmark, experiment)
+    util = result.utilization_map
+
+    cluster_util = util[3:6, 9:14].max()          # under the cell cluster
+    corridor_util = util[17:20, 8:16].max()       # empty mid-corridor
+    far_util = util[1:3, 1:5].max()               # quiet corner
+    print(f"\nFig1a: local(cluster)={cluster_util:.2f} "
+          f"global(corridor)={corridor_util:.2f} background={far_util:.2f}")
+
+    # both mechanisms produce elevated utilization...
+    assert cluster_util > 2 * max(far_util, 0.05)
+    assert corridor_util > 2 * max(far_util, 0.05)
+    # ...but the corridor has (almost) no cells in it: global congestion
+    i, j = grid.index_of(netlist.x, netlist.y)
+    corridor_cells = ((i >= 17) & (i < 20) & (j >= 8) & (j < 16)).sum()
+    assert corridor_cells == 0
+
+
+def test_fig1b_bb_misattribution(benchmark):
+    """A net is *not* blamed for congestion inside its BB but off its path."""
+    die = Rect(0, 0, 16, 16)
+    cells = [
+        CellSpec("p1", 0.5, 0.5, x=2, y=12),
+        CellSpec("p2", 0.5, 0.5, x=14, y=12),
+    ]
+    # unrelated cluster in the lower-right corner of the net's BB
+    for k in range(40):
+        cells.append(CellSpec(f"c{k}", 0.5, 0.5, x=12 + 0.1 * (k % 8), y=3 + 0.3 * (k // 8)))
+    nets = [NetSpec("net", [PinSpec("p1"), PinSpec("p2")])]
+    for k in range(0, 39, 2):
+        nets.append(NetSpec(f"u{k}", [PinSpec(f"c{k}"), PinSpec(f"c{k+1}")]))
+    netlist = Netlist.from_specs("fig1b", die, cells, nets)
+    grid = Grid2D(die, 16, 16)
+
+    def experiment():
+        routed = GlobalRouter(grid, RouterConfig(wire_pitch=0.3)).route(netlist)
+        return routed
+
+    routed = run_once(benchmark, experiment)
+    cong = routed.congestion_map
+
+    # RUDY of the big net covers the unrelated hotspot region
+    one_net = Netlist.from_specs(
+        "only", die, cells[:2], [NetSpec("net", [PinSpec("p1"), PinSpec("p2")])]
+    )
+    rudy = rudy_map(one_net, grid)
+    hotspot_bin = grid.index_of(12.5, 3.5)
+    net_row_bin = grid.index_of(8.0, 12.0)
+    print(f"\nFig1b: RUDY at unrelated hotspot={rudy[hotspot_bin]:.3f}, "
+          f"on the net path={rudy[net_row_bin]:.3f}")
+    # note: hotspot at y=3.5 is OUTSIDE this 2-pin net's BB (y ~ 12):
+    # widen the scenario — use the segment-sampled virtual cell instead
+    info = virtual_cell_positions(one_net, grid, cong)
+    if info["active"][0]:
+        # the virtual cell must sit on the segment, never at the hotspot
+        assert abs(info["yv"][0] - 12.0) < 1.0
+    # BB-based penalty for a *diagonal* net spanning the hotspot
+    diag = Netlist.from_specs(
+        "diag", die, [
+            CellSpec("q1", 0.5, 0.5, x=2, y=12),
+            CellSpec("q2", 0.5, 0.5, x=14, y=2),
+        ], [NetSpec("d", [PinSpec("q1"), PinSpec("q2")])]
+    )
+    rudy_diag = rudy_map(diag, grid)
+    assert rudy_diag[hotspot_bin] > 0  # RUDY blames the net for the corner
+    info_diag = virtual_cell_positions(diag, grid, cong)
+    if info_diag["active"][0]:
+        xv, yv = info_diag["xv"][0], info_diag["yv"][0]
+        # virtual cell lies on the diagonal segment (distance check)
+        t = (xv - 2) / 12.0
+        y_on_seg = 12 + t * (2 - 12)
+        assert abs(yv - y_on_seg) < 1e-6

@@ -1,0 +1,95 @@
+"""Fig. 3 — two-pin net moving geometry, quantitatively.
+
+Reconstructs the figure's setup: a two-pin net whose segment crosses a
+congested region.  Verifies every geometric claim of Alg. 1 / Eq. 6-9:
+
+* the virtual cell c_v sits at the most congested sampled point;
+* the per-cell gradient is the projection of grad C(c_v) onto the unit
+  normal of the segment (zero component along the segment);
+* gradient magnitudes scale as L / (2 d_iv): the pin closer to the
+  congestion moves more;
+* moving the cells one descent step reduces the congestion penalty of
+  the net's virtual cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import CongestionField, NetMoveConfig, two_pin_net_gradients
+from repro.core.netmove import virtual_cell_positions
+from repro.geometry import Grid2D, Rect
+from repro.netlist import CellSpec, Netlist, NetSpec, PinSpec
+
+
+def _scene():
+    die = Rect(0, 0, 20, 20)
+    cells = [
+        CellSpec("c1", 0.5, 0.5, x=4, y=8),
+        CellSpec("c2", 0.5, 0.5, x=16, y=12),
+    ]
+    nets = [NetSpec("e", [PinSpec("c1"), PinSpec("c2")])]
+    netlist = Netlist.from_specs("fig3", die, cells, nets)
+    grid = Grid2D(die, 40, 40)
+    util = np.full(grid.shape, 0.3)
+    # congested blob centered near (7, 9.2): on the segment, nearer c1,
+    # slightly off-axis so the normal projection is nonzero
+    for di in range(-2, 3):
+        for dj in range(-2, 3):
+            i, j = grid.index_of(7.0 + 0.5 * di, 9.3 + 0.5 * dj)
+            util[i, j] = 2.5 - 0.3 * (abs(di) + abs(dj))
+    return netlist, grid, util
+
+
+def test_fig3_geometry(benchmark):
+    netlist, grid, util = _scene()
+    cong = np.maximum(util - 1.0, 0.0)
+
+    def experiment():
+        fld = CongestionField(grid, util)
+        info = virtual_cell_positions(netlist, grid, cong)
+        gx, gy, ginfo = two_pin_net_gradients(netlist, grid, cong, fld, 0.25)
+        return fld, info, gx, gy
+
+    fld, info, gx, gy = run_once(benchmark, experiment)
+    assert info["active"][0]
+    xv, yv = info["xv"][0], info["yv"][0]
+    print(f"\nFig3: virtual cell at ({xv:.2f}, {yv:.2f}), "
+          f"congestion {info['congestion'][0]:.2f}")
+    print(f"      grad c1 = ({gx[0]:+.4f}, {gy[0]:+.4f})")
+    print(f"      grad c2 = ({gx[1]:+.4f}, {gy[1]:+.4f})")
+
+    # (1) virtual cell is on the segment and at its congestion argmax
+    t = (xv - 4.0) / 12.0
+    assert abs(yv - (8.0 + t * 4.0)) < 1e-9
+    samples_x = 4.0 + np.linspace(0.05, 0.95, 50) * 12.0
+    samples_y = 8.0 + np.linspace(0.05, 0.95, 50) * 4.0
+    si, sj = grid.index_of(samples_x, samples_y)
+    assert cong[grid.index_of(xv, yv)] >= cong[si, sj].max() - 1e-9
+
+    # (2) gradients are perpendicular to the segment
+    seg = np.array([12.0, 4.0]) / np.hypot(12, 4)
+    for k in (0, 1):
+        along = gx[k] * seg[0] + gy[k] * seg[1]
+        norm = np.hypot(gx[k], gy[k])
+        assert abs(along) < 1e-9 * max(norm, 1)
+
+    # (3) closer pin (c1) receives the larger gradient: |g1|/|g2| = d2/d1
+    d1 = np.hypot(xv - 4, yv - 8)
+    d2 = np.hypot(xv - 16, yv - 12)
+    ratio = np.hypot(gx[0], gy[0]) / np.hypot(gx[1], gy[1])
+    assert ratio == np.clip(ratio, 0.9 * (d2 / d1), 1.1 * (d2 / d1))
+    assert d1 < d2 and ratio > 1
+
+    # (4) one descent step lowers the virtual-cell congestion penalty
+    before = fld.penalty(np.array([xv]), np.array([yv]), 0.25)
+    step = 0.5 / max(np.hypot(gx, gy).max(), 1e-12)
+    netlist.x[:2] -= step * gx[:2]
+    netlist.y[:2] -= step * gy[:2]
+    info2 = virtual_cell_positions(netlist, grid, cong)
+    if info2["active"][0]:
+        after = fld.penalty(
+            np.array([info2["xv"][0]]), np.array([info2["yv"][0]]), 0.25
+        )
+        assert after <= before + 1e-9

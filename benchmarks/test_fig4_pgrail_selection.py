@@ -1,0 +1,53 @@
+"""Fig. 4 — PG rail selection on matrix_mult_a.
+
+Reproduces the figure's before/after: (a) all PG rails of the design,
+(b) the rails surviving the selection (cut by 10%-expanded macro boxes,
+kept only if spanning at least 0.2x the die extent).  Prints the counts
+and kept-length statistics and asserts the selection's invariants.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.core import select_pg_rails
+from repro.synth import suite_design
+
+
+def test_fig4_pg_rail_selection(benchmark):
+    netlist = suite_design("matrix_mult_a", scale=BENCH_SCALE)
+
+    def experiment():
+        return select_pg_rails(netlist)
+
+    selected = run_once(benchmark, experiment)
+
+    total_before = len(netlist.pg_rails)
+    len_before = sum(r.length for r in netlist.pg_rails)
+    len_after = sum(r.length for r in selected)
+    print(f"\nFig4: rails before selection: {total_before} "
+          f"(total length {len_before:.0f})")
+    print(f"      rail pieces after:      {len(selected)} "
+          f"(total length {len_after:.0f})")
+
+    assert total_before > 0
+    assert 0 < len(selected)
+    # cutting never creates length
+    assert len_after <= len_before + 1e-6
+
+    # every selected piece satisfies the 0.2x span rule (Sec. III-C)
+    for rail in selected:
+        min_span = 0.2 * (netlist.die.width if rail.horizontal else netlist.die.height)
+        assert rail.length >= min_span - 1e-9
+
+    # no selected piece intersects any 10%-expanded macro box
+    import numpy as np
+
+    boxes = [
+        netlist.cell_rect(i).expanded(0.1)
+        for i in np.flatnonzero(netlist.cell_macro)
+    ]
+    assert boxes, "matrix_mult_a must have macros"
+    for rail in selected:
+        for box in boxes:
+            assert not rail.rect.intersects(box)

@@ -1,0 +1,41 @@
+"""Table II ablation on one design: MCI -> +DC -> +DPA.
+
+Runs the four configurations of Table II from one shared
+wirelength-driven seed and prints the metric progression.
+
+Run:  python examples/ablation_study.py
+"""
+
+from repro.baselines import ablation_config, make_gp_seed, run_flow
+from repro.core import RDConfig
+from repro.evalrt import EvalConfig, evaluate_routing
+from repro.evalrt.evaluator import evaluation_grid
+from repro.place import GPConfig
+from repro.synth import suite_design
+
+ROWS = (
+    ("baseline (Xplace-Route recipe)", dict(mci=False, dc=False, dpa=False)),
+    ("+MCI", dict(mci=True, dc=False, dpa=False)),
+    ("+MCI+DC", dict(mci=True, dc=True, dpa=False)),
+    ("+MCI+DC+DPA (ours)", dict(mci=True, dc=True, dpa=True)),
+)
+
+
+def main() -> None:
+    netlist = suite_design("edit_dist_a", scale=0.5)
+    gp = GPConfig(max_iters=600)
+    base = RDConfig(gp=gp, max_rounds=6, iters_per_round=40)
+    seed = make_gp_seed(netlist, gp)
+    eval_cfg = EvalConfig()
+    grid = evaluation_grid(netlist, eval_cfg)
+
+    print(f"{'configuration':34s} {'DRWL':>9s} {'#DRVias':>9s} {'#DRVs':>8s}")
+    for label, flags in ROWS:
+        cfg = ablation_config(base=base, **flags)
+        flow = run_flow(label, netlist, cfg, seed)
+        ev = evaluate_routing(flow.netlist, eval_cfg, grid)
+        print(f"{label:34s} {ev.drwl:9.0f} {ev.n_vias:9.0f} {ev.n_drvs:8.0f}")
+
+
+if __name__ == "__main__":
+    main()

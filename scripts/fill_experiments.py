@@ -1,0 +1,57 @@
+"""Fill EXPERIMENTS.md placeholders from results/table1.json and table2.json."""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.evalrt.report import MetricRow, ratio_row
+
+
+def _load(path):
+    with open(path) as fh:
+        return [MetricRow(r["design"], r["placer"], r["metrics"]) for r in json.load(fh)]
+
+
+def main() -> int:
+    text = open("EXPERIMENTS.md").read()
+
+    t1 = _load("results/table1.json")
+    r1 = ratio_row(t1, "Ours")
+    mapping = {
+        "{T1_XP_DRWL}": f"{r1['Xplace']['DRWL']:.2f}",
+        "{T1_XP_VIAS}": f"{r1['Xplace']['#DRVias']:.2f}",
+        "{T1_XP_DRVS}": f"**{r1['Xplace']['#DRVs']:.2f}**",
+        "{T1_XP_PT}": f"{r1['Xplace']['PT']:.2f}",
+        "{T1_XP_RT}": f"{r1['Xplace']['RT']:.2f}",
+        "{T1_XR_DRWL}": f"{r1['Xplace-Route']['DRWL']:.2f}",
+        "{T1_XR_VIAS}": f"{r1['Xplace-Route']['#DRVias']:.2f}",
+        "{T1_XR_DRVS}": f"**{r1['Xplace-Route']['#DRVs']:.2f}**",
+        "{T1_XR_PT}": f"{r1['Xplace-Route']['PT']:.2f}",
+        "{T1_XR_RT}": f"{r1['Xplace-Route']['RT']:.2f}",
+    }
+
+    t2 = _load("results/table2.json")
+    r2 = ratio_row(t2, "+MCI+DC+DPA", keys=("DRWL", "#DRVias", "#DRVs"))
+    mapping.update(
+        {
+            "{T2_B_DRWL}": f"{r2['baseline']['DRWL']:.2f}",
+            "{T2_B_VIAS}": f"{r2['baseline']['#DRVias']:.2f}",
+            "{T2_B_DRVS}": f"{r2['baseline']['#DRVs']:.2f}",
+            "{T2_M_DRWL}": f"{r2['+MCI']['DRWL']:.2f}",
+            "{T2_M_VIAS}": f"{r2['+MCI']['#DRVias']:.2f}",
+            "{T2_M_DRVS}": f"{r2['+MCI']['#DRVs']:.2f}",
+            "{T2_D_DRWL}": f"{r2['+MCI+DC']['DRWL']:.2f}",
+            "{T2_D_VIAS}": f"{r2['+MCI+DC']['#DRVias']:.2f}",
+            "{T2_D_DRVS}": f"{r2['+MCI+DC']['#DRVs']:.2f}",
+        }
+    )
+    for k, v in mapping.items():
+        text = text.replace(k, v)
+    open("EXPERIMENTS.md", "w").write(text)
+    print("EXPERIMENTS.md updated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Regenerate Table I over the full 20-design suite.
+
+Writes per-design metric rows to ``results/table1.json`` and prints the
+formatted table with the Avg. Ratio footer.  Pass ``--scale`` to shrink
+designs for a quick run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.bench.harness import run_design, table_rows
+from repro.evalrt.report import format_table
+from repro.synth.suite import suite_design, suite_names
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--designs", nargs="*", default=None)
+    parser.add_argument("--out", default="results/table1.json")
+    args = parser.parse_args()
+
+    names = args.designs or suite_names()
+    rows = []
+    for name in names:
+        t0 = time.time()
+        outcome = run_design(suite_design(name, scale=args.scale))
+        rows += table_rows([outcome])
+        print(f"[{time.strftime('%H:%M:%S')}] {name} done in {time.time()-t0:.0f}s", flush=True)
+
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(
+            [
+                {"design": r.design, "placer": r.placer, "metrics": r.metrics}
+                for r in rows
+            ],
+            fh,
+            indent=1,
+        )
+    print(format_table(rows, reference_placer="Ours"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

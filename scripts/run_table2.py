@@ -1,0 +1,64 @@
+"""Regenerate Table II (ablation) over congested designs of the suite.
+
+The paper reports suite-average ratios; congestion techniques only act
+where congestion exists, so the default design list covers the
+congested half of the suite.  Writes ``results/table2.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.bench.harness import run_ablation_on_design
+from repro.evalrt.report import format_table
+from repro.synth.suite import suite_design
+
+DEFAULT_DESIGNS = [
+    "des_perf_1",
+    "des_perf_a",
+    "edit_dist_a",
+    "fft_b",
+    "matrix_mult_1",
+    "matrix_mult_b",
+    "superblue12",
+    "superblue19",
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--designs", nargs="*", default=None)
+    parser.add_argument("--out", default="results/table2.json")
+    args = parser.parse_args()
+
+    rows = []
+    for name in args.designs or DEFAULT_DESIGNS:
+        t0 = time.time()
+        rows += run_ablation_on_design(suite_design(name, scale=args.scale))
+        print(f"[{time.strftime('%H:%M:%S')}] {name} done in {time.time()-t0:.0f}s", flush=True)
+
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(
+            [
+                {"design": r.design, "placer": r.placer, "metrics": r.metrics}
+                for r in rows
+            ],
+            fh,
+            indent=1,
+        )
+    print(
+        format_table(
+            rows, keys=("DRWL", "#DRVias", "#DRVs"), reference_placer="+MCI+DC+DPA"
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

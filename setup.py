@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` falls back to the legacy `setup.py develop` path
+when no [build-system] table is present, which works fully offline.
+Metadata lives in pyproject.toml; this file only needs to exist.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Comparison placers and flow runners.
+
+Three complete place-legalize-refine flows mirror the three columns of
+Table I:
+
+* :func:`run_xplace` — wirelength-driven only (Xplace [16]);
+* :func:`run_xplace_route` — routability via present-congestion cell
+  inflation and a static pre-placement PG-rail density (the
+  Xplace-Route [8] recipe the paper compares against);
+* :func:`run_ours` — the paper's framework (MCI + DC + DPA).
+
+:func:`ablation_config` produces the four Table II configurations.
+"""
+
+from repro.baselines.flows import (
+    FlowResult,
+    GPSeed,
+    ablation_config,
+    make_gp_seed,
+    run_flow,
+    run_ours,
+    run_xplace,
+    run_xplace_route,
+    xplace_route_config,
+)
+
+__all__ = [
+    "FlowResult",
+    "GPSeed",
+    "ablation_config",
+    "make_gp_seed",
+    "run_flow",
+    "run_ours",
+    "run_xplace",
+    "run_xplace_route",
+    "xplace_route_config",
+]

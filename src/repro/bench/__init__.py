@@ -1,0 +1,17 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from repro.bench.harness import (
+    DesignOutcome,
+    run_ablation_on_design,
+    run_design,
+    run_suite,
+    table_rows,
+)
+
+__all__ = [
+    "DesignOutcome",
+    "run_design",
+    "run_suite",
+    "run_ablation_on_design",
+    "table_rows",
+]

@@ -1,0 +1,167 @@
+"""Run placers over designs and collect Table I / Table II rows.
+
+The evaluation contract mirrors the paper's: every placer runs from the
+same input netlist, and every resulting placement is scored by the same
+routing-outcome evaluator (same grid, same settings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.flows import (
+    FlowResult,
+    ablation_config,
+    make_gp_seed,
+    run_flow,
+    run_ours,
+    run_xplace,
+    run_xplace_route,
+)
+from repro.core.rd_placer import RDConfig
+from repro.evalrt.config import EvalConfig
+from repro.evalrt.evaluator import RoutingEvaluation, evaluate_routing, evaluation_grid
+from repro.evalrt.report import MetricRow
+from repro.netlist.netlist import Netlist
+from repro.place.config import GPConfig
+from repro.synth.suite import suite_design, suite_names
+from repro.utils.logging import get_logger
+
+logger = get_logger("bench.harness")
+
+PLACERS = ("Xplace", "Xplace-Route", "Ours")
+
+
+@dataclass
+class DesignOutcome:
+    """All flows and evaluations of one design."""
+
+    design: str
+    flows: dict = field(default_factory=dict)  # placer -> FlowResult
+    evals: dict = field(default_factory=dict)  # placer -> RoutingEvaluation
+
+    def row(self, placer: str) -> MetricRow:
+        ev = self.evals[placer]
+        fl = self.flows[placer]
+        return MetricRow(
+            design=self.design,
+            placer=placer,
+            metrics={
+                "DRWL": ev.drwl,
+                "#DRVias": ev.n_vias,
+                "#DRVs": ev.n_drvs,
+                "PT": fl.placement_time,
+                "RT": ev.routing_time,
+            },
+        )
+
+
+def _default_gp() -> GPConfig:
+    return GPConfig()
+
+
+def _default_rd(gp: GPConfig) -> RDConfig:
+    return RDConfig(gp=gp)
+
+
+def run_design(
+    netlist: Netlist,
+    placers: tuple = PLACERS,
+    gp_config: GPConfig | None = None,
+    rd_config: RDConfig | None = None,
+    eval_config: EvalConfig | None = None,
+) -> DesignOutcome:
+    """Run the requested placers on one design and evaluate each."""
+    gp = gp_config or _default_gp()
+    rd = rd_config or _default_rd(gp)
+    ev_cfg = eval_config or EvalConfig()
+    grid = evaluation_grid(netlist, ev_cfg)
+    seed_gp = make_gp_seed(netlist, gp)
+
+    outcome = DesignOutcome(design=netlist.name)
+    for placer in placers:
+        logger.info("running %s on %s", placer, netlist.name)
+        if placer == "Xplace":
+            flow = run_xplace(netlist, gp, seed_gp)
+        elif placer == "Xplace-Route":
+            flow = run_xplace_route(netlist, rd, seed_gp)
+        elif placer == "Ours":
+            flow = run_ours(netlist, rd, seed_gp)
+        else:
+            raise ValueError(f"unknown placer {placer!r}")
+        outcome.flows[placer] = flow
+        outcome.evals[placer] = evaluate_routing(flow.netlist, ev_cfg, grid)
+    return outcome
+
+
+def run_suite(
+    names: list | None = None,
+    placers: tuple = PLACERS,
+    scale: float = 1.0,
+    seed: int = 0,
+    gp_config: GPConfig | None = None,
+    rd_config: RDConfig | None = None,
+    eval_config: EvalConfig | None = None,
+) -> list:
+    """Run placers over (a subset of) the Table I suite."""
+    outcomes = []
+    for name in names or suite_names():
+        netlist = suite_design(name, scale=scale, seed=seed)
+        outcomes.append(
+            run_design(netlist, placers, gp_config, rd_config, eval_config)
+        )
+    return outcomes
+
+
+def table_rows(outcomes: list) -> list:
+    """Flatten outcomes into :class:`MetricRow` lists for reporting."""
+    rows = []
+    for outcome in outcomes:
+        for placer in outcome.flows:
+            rows.append(outcome.row(placer))
+    return rows
+
+
+ABLATION_ROWS = (
+    ("baseline", dict(mci=False, dc=False, dpa=False)),
+    ("+MCI", dict(mci=True, dc=False, dpa=False)),
+    ("+MCI+DC", dict(mci=True, dc=True, dpa=False)),
+    ("+MCI+DC+DPA", dict(mci=True, dc=True, dpa=True)),
+)
+
+
+def run_ablation_on_design(
+    netlist: Netlist,
+    gp_config: GPConfig | None = None,
+    eval_config: EvalConfig | None = None,
+) -> list:
+    """Run the four Table II configurations on one design.
+
+    Returns :class:`MetricRow` entries whose ``placer`` field names the
+    ablation configuration.
+    """
+    gp = gp_config or _default_gp()
+    base = _default_rd(gp)
+    ev_cfg = eval_config or EvalConfig()
+    grid = evaluation_grid(netlist, ev_cfg)
+    seed_gp = make_gp_seed(netlist, gp)
+
+    rows = []
+    for label, flags in ABLATION_ROWS:
+        cfg = ablation_config(base=base, **flags)
+        flow = run_flow(label, netlist, cfg, seed_gp)
+        ev = evaluate_routing(flow.netlist, ev_cfg, grid)
+        rows.append(
+            MetricRow(
+                design=netlist.name,
+                placer=label,
+                metrics={
+                    "DRWL": ev.drwl,
+                    "#DRVias": ev.n_vias,
+                    "#DRVs": ev.n_drvs,
+                    "PT": flow.placement_time,
+                    "RT": ev.routing_time,
+                },
+            )
+        )
+    return rows

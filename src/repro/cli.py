@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+gen     generate a synthetic design (suite name or custom size) to a file
+place   place a design file (wirelength-only or full routability flow)
+route   route a placed design and print congestion statistics
+eval    score a placed design (DRWL / #DRVias / #DRVs)
+plot    dump placement SVG and congestion heatmap PPM
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from repro.io import save_design
+    from repro.netlist import compute_stats
+    from repro.synth import SynthConfig, generate_design, suite_design, suite_names
+
+    if args.design in suite_names():
+        netlist = suite_design(args.design, scale=args.scale, seed=args.seed)
+    else:
+        netlist = generate_design(
+            SynthConfig(name=args.design, n_cells=args.cells, seed=args.seed)
+        )
+    save_design(netlist, args.out)
+    print(f"wrote {args.out}: {compute_stats(netlist).as_dict()}")
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    from repro.core import RDConfig, RoutabilityDrivenPlacer
+    from repro.detail import detailed_place
+    from repro.io import load_design, save_design
+    from repro.legalize import check_legal, legalize
+    from repro.place import GPConfig, converge_placement, initial_placement
+    from repro.wirelength import hpwl
+
+    netlist = load_design(args.input)
+    gp = GPConfig(max_iters=args.iters)
+    if args.routability:
+        placer = RoutabilityDrivenPlacer(netlist, RDConfig(gp=gp))
+        result = placer.run()
+        print(f"routability rounds: {result.n_rounds} "
+              f"(best round {result.best_round})")
+        congestion = result.final_routing.congestion_map
+        grid = placer.gp.grid
+    else:
+        initial_placement(netlist, gp.seed)
+        converge_placement(netlist, gp)
+        congestion = None
+        grid = None
+    legalize(netlist)
+    detailed_place(netlist, passes=2, grid=grid, congestion=congestion)
+    issues = check_legal(netlist)
+    print(f"hpwl={hpwl(netlist):.0f} legality="
+          f"{'CLEAN' if not issues else f'{len(issues)} issues'}")
+    save_design(netlist, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.geometry import Grid2D
+    from repro.io import load_design
+    from repro.place.config import auto_grid_dim
+    from repro.route import GlobalRouter, RouterConfig
+
+    netlist = load_design(args.input)
+    dim = args.grid or auto_grid_dim(netlist.n_cells)
+    grid = Grid2D(netlist.die, dim, dim)
+    result = GlobalRouter(grid, RouterConfig()).route(netlist)
+    util = result.utilization_map
+    print(f"segments={result.n_segments} wirelength={result.wirelength:.0f} "
+          f"vias={result.n_vias:.0f}")
+    print(f"utilization mean={util.mean():.3f} max={util.max():.2f} "
+          f"overflow={result.total_overflow:.0f} "
+          f"congested={(result.congestion_map > 0).mean() * 100:.1f}%")
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from repro.evalrt import evaluate_routing
+    from repro.io import load_design
+
+    netlist = load_design(args.input)
+    ev = evaluate_routing(netlist)
+    print(f"DRWL={ev.drwl:.0f} #DRVias={ev.n_vias:.0f} #DRVs={ev.n_drvs:.0f} "
+          f"(overflow {ev.overflow_drvs:.0f}, pin-access "
+          f"{ev.pin_report.total:.0f}) RT={ev.routing_time:.2f}s")
+    return 0
+
+
+def _cmd_plot(args: argparse.Namespace) -> int:
+    from repro.geometry import Grid2D
+    from repro.io import load_design
+    from repro.place.config import auto_grid_dim
+    from repro.route import GlobalRouter, RouterConfig
+    from repro.viz import save_heatmap_ppm, save_placement_svg
+
+    netlist = load_design(args.input)
+    dim = auto_grid_dim(netlist.n_cells)
+    grid = Grid2D(netlist.die, dim, dim)
+    result = GlobalRouter(grid, RouterConfig()).route(netlist)
+    svg_path = args.prefix + "_placement.svg"
+    ppm_path = args.prefix + "_congestion.ppm"
+    save_placement_svg(
+        netlist, svg_path, congestion=result.congestion_map, grid=grid
+    )
+    save_heatmap_ppm(result.utilization_map, ppm_path)
+    print(f"wrote {svg_path} and {ppm_path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gen", help="generate a synthetic design")
+    p.add_argument("design", help="suite name (e.g. fft_1) or custom label")
+    p.add_argument("--cells", type=int, default=1000)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="design.bl")
+    p.set_defaults(func=_cmd_gen)
+
+    p = sub.add_parser("place", help="place a design file")
+    p.add_argument("input")
+    p.add_argument("--routability", action="store_true",
+                   help="run the full Fig. 2 flow instead of WL-only")
+    p.add_argument("--iters", type=int, default=1000)
+    p.add_argument("--out", default="placed.bl")
+    p.set_defaults(func=_cmd_place)
+
+    p = sub.add_parser("route", help="route a placed design")
+    p.add_argument("input")
+    p.add_argument("--grid", type=int, default=0)
+    p.set_defaults(func=_cmd_route)
+
+    p = sub.add_parser("eval", help="score a placed design")
+    p.add_argument("input")
+    p.set_defaults(func=_cmd_eval)
+
+    p = sub.add_parser("plot", help="dump SVG/PPM visualizations")
+    p.add_argument("input")
+    p.add_argument("--prefix", default="design")
+    p.set_defaults(func=_cmd_plot)
+    return parser
+
+
+def main(argv: list | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

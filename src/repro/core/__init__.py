@@ -1,0 +1,46 @@
+"""The paper's contribution: differentiable net-moving and local
+congestion mitigation for routability-driven global placement.
+
+Modules map one-to-one onto the paper's sections:
+
+* :mod:`repro.core.congestion_field` — the differentiable congestion
+  function C(x, y) from Poisson's equation (Sec. II-B);
+* :mod:`repro.core.netmove` — Alg. 1, virtual-cell gradients for
+  two-pin net moving (Sec. III-A.1);
+* :mod:`repro.core.multipin` — Alg. 2, multi-pin cell gradient update
+  (Sec. III-A.2);
+* :mod:`repro.core.weights` — the lambda_2 schedule of Eq. (10);
+* :mod:`repro.core.inflation` — momentum-based cell inflation,
+  Eq. (11)-(12) (Sec. III-B);
+* :mod:`repro.core.pgrails` / :mod:`repro.core.pinaccess` — PG-rail
+  selection and dynamic pin-accessibility density, Eq. (13)-(15)
+  (Sec. III-C);
+* :mod:`repro.core.rd_placer` — the integrated flow of Fig. 2.
+"""
+
+from repro.core.congestion_field import CongestionField
+from repro.core.netmove import NetMoveConfig, two_pin_net_gradients, virtual_cell_positions
+from repro.core.multipin import multi_pin_cell_gradients
+from repro.core.weights import congestion_penalty_weight
+from repro.core.inflation import InflationConfig, MomentumInflation
+from repro.core.pgrails import select_pg_rails, rail_area_map
+from repro.core.pinaccess import PinAccessConfig, pg_density_charge
+from repro.core.rd_placer import RDConfig, RDResult, RoutabilityDrivenPlacer
+
+__all__ = [
+    "CongestionField",
+    "NetMoveConfig",
+    "two_pin_net_gradients",
+    "virtual_cell_positions",
+    "multi_pin_cell_gradients",
+    "congestion_penalty_weight",
+    "InflationConfig",
+    "MomentumInflation",
+    "select_pg_rails",
+    "rail_area_map",
+    "PinAccessConfig",
+    "pg_density_charge",
+    "RDConfig",
+    "RDResult",
+    "RoutabilityDrivenPlacer",
+]

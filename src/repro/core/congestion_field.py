@@ -1,0 +1,60 @@
+"""Differentiable congestion function C(x, y) from Poisson's equation.
+
+Following Sec. II-B of the paper, the congestion charge density is the
+G-cell utilization ``rho_{m,n} = Dmd_{m,n} / Cap_{m,n}`` produced by the
+global router.  Solving Eq. (1) with this charge gives a *congestion
+potential* ``psi`` and field ``E = -grad(psi)``; the penalty term is::
+
+    C(x, y) = 1/2 * sum_{i in V'} A_i psi_i
+
+where V' contains the selected multi-pin cells and the virtual cells of
+two-pin nets.  The field is smooth, so sampling it (bilinearly between
+G-cell centers) at any point yields a usable gradient — this is what
+makes the construction differentiable, in contrast to bounding-box
+penalties that treat all covered G-cells alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.density.poisson import PoissonSolver
+from repro.geometry.grid import Grid2D
+
+
+class CongestionField:
+    """Congestion potential/field for one routing snapshot.
+
+    Build once per routability round (the router's utilization map is
+    fixed within a round); query as often as the solver iterates.
+    """
+
+    def __init__(self, grid: Grid2D, utilization: np.ndarray) -> None:
+        if utilization.shape != grid.shape:
+            raise ValueError(
+                f"utilization shape {utilization.shape} != grid {grid.shape}"
+            )
+        self.grid = grid
+        self.utilization = utilization
+        self.potential, self.field_x, self.field_y = PoissonSolver(grid).solve(
+            utilization
+        )
+
+    # ------------------------------------------------------------------
+    def potential_at(self, x, y) -> np.ndarray:
+        """Bilinear potential sample psi(x, y)."""
+        return self.grid.bilinear_at(self.potential, x, y)
+
+    def gradient_at(self, x, y, area) -> tuple[np.ndarray, np.ndarray]:
+        """Congestion energy gradient of charge(s) ``area`` at points.
+
+        Returns the *minimization* gradient ``A * grad(psi) = -A * E``:
+        subtracting it moves the charge away from congestion.
+        """
+        gx = -np.asarray(area) * self.grid.bilinear_at(self.field_x, x, y)
+        gy = -np.asarray(area) * self.grid.bilinear_at(self.field_y, x, y)
+        return gx, gy
+
+    def penalty(self, x, y, area) -> float:
+        """``C(x, y) = 1/2 sum_i A_i psi_i`` over the given charges."""
+        return 0.5 * float(np.sum(np.asarray(area) * self.potential_at(x, y)))

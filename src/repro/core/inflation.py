@@ -1,0 +1,125 @@
+"""Momentum-based cell inflation (Sec. III-B, Eq. 11-12).
+
+Per-cell inflation rate with momentum over the history of congestion
+observations::
+
+    r_i^t      = clamp(r_i^{t-1} + dr_i^t, r_min, r_max)
+    dr_i^t     = alpha * dr_i^{t-1} + (1 - alpha) * s_i^t
+    s_i^t      = delta_i^t * C_i^t
+
+``C_i^t`` is the congestion of the G-cell under cell i's center at the
+t-th inflation round.  The *deflation* decision ``delta_i^t`` (Eq. 12)
+fires when the cell just moved from an above-average to a below-average
+congestion region — then a negative correction proportional to the
+normalized congestion drop lets the cell shrink back (down to
+``r_min < 1``), freeing the resources monotone schemes waste.
+
+Inflated sizes are used only in the *density* system: the rate scales
+the footprint area, so width and height are each scaled by
+``sqrt(rate)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.grid import Grid2D
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class InflationConfig:
+    """Paper defaults: r in [0.9, 2.0], momentum alpha = 0.4."""
+
+    r_min: float = 0.9
+    r_max: float = 2.0
+    alpha: float = 0.4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha < 1.0:
+            raise ValueError("alpha must be in [0, 1)")
+        if self.r_min > self.r_max:
+            raise ValueError("r_min must not exceed r_max")
+        if self.r_min <= 0.0:
+            raise ValueError("r_min must be positive")
+
+
+class MomentumInflation:
+    """Stateful inflation-rate tracker over routability rounds."""
+
+    def __init__(self, n_cells: int, config: InflationConfig | None = None) -> None:
+        self.config = config or InflationConfig()
+        self.rates = np.ones(n_cells, dtype=np.float64)  # r^0 = 1
+        self.delta_rates = np.zeros(n_cells, dtype=np.float64)
+        self._prev_cong: np.ndarray | None = None
+        self._prev_mean: float = 0.0
+        self.round = 0
+
+    # ------------------------------------------------------------------
+    def update(self, congestion_at_cells: np.ndarray) -> np.ndarray:
+        """One inflation round (Eq. 11-12); returns the new rates.
+
+        Parameters
+        ----------
+        congestion_at_cells:
+            ``C_i^t`` per cell (Eq. 3 values sampled at cell centers).
+        """
+        cfg = self.config
+        c = np.asarray(congestion_at_cells, dtype=np.float64)
+        if len(c) != len(self.rates):
+            raise ValueError("congestion vector length mismatch")
+        self.round += 1
+
+        if self.round == 1:
+            # paper: dr^1 = C^1
+            self.delta_rates = c.copy()
+        else:
+            s = self._correction(c)
+            self.delta_rates = cfg.alpha * self.delta_rates + (1.0 - cfg.alpha) * s
+
+        self.rates = np.clip(self.rates + self.delta_rates, cfg.r_min, cfg.r_max)
+        self._prev_cong = c.copy()
+        self._prev_mean = float(c.mean()) if len(c) else 0.0
+        return self.rates
+
+    def _correction(self, c: np.ndarray) -> np.ndarray:
+        """``s_i^t = delta_i^t * C_i^t`` with Eq. (12) deflation."""
+        mean_now = float(c.mean()) if len(c) else 0.0
+        prev = self._prev_cong
+        assert prev is not None
+        delta = np.ones_like(c)
+        if mean_now > 0.0 and self._prev_mean > 0.0:
+            deflate = (c < mean_now) & (prev > self._prev_mean)
+            if deflate.any():
+                strength = np.abs(
+                    (prev * mean_now - c * self._prev_mean)
+                    / (self._prev_mean * mean_now)
+                )
+                delta = np.where(deflate, -strength, delta)
+        # s_i^t = delta_i^t * C_i^t.  For deflating cells the paper
+        # multiplies the (negative) strength by the *current* congestion;
+        # a cell that escaped to a zero-congestion G-cell therefore stops
+        # growing (s = 0) rather than shrinking — it keeps its inflated
+        # footprint so it is not pulled straight back into the hotspot.
+        return delta * c
+
+    # ------------------------------------------------------------------
+    def size_scale(self) -> np.ndarray:
+        """Per-cell width/height multiplier: area scales by the rate."""
+        return np.sqrt(self.rates)
+
+    def reset(self) -> None:
+        self.rates.fill(1.0)
+        self.delta_rates.fill(0.0)
+        self._prev_cong = None
+        self._prev_mean = 0.0
+        self.round = 0
+
+
+def congestion_at_cell_centers(
+    netlist: Netlist, grid: Grid2D, congestion: np.ndarray
+) -> np.ndarray:
+    """``C_i``: congestion of the G-cell under each cell center."""
+    return grid.value_at(congestion, netlist.x, netlist.y)

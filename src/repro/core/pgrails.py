@@ -1,0 +1,104 @@
+"""PG rail selection for pin-accessibility density (Sec. III-C step 1).
+
+Indiscriminately densifying every region under M2 PG rails hurts — the
+narrow corridors between macros are congested already.  So, as in
+Fig. 4 of the paper:
+
+1. every macro bounding box is expanded by 10%;
+2. the expanded boxes *cut* each rail into pieces (the covered spans
+   are removed);
+3. only pieces at least ``0.2 x`` the die width (horizontal rails) or
+   height (vertical rails) survive.
+
+The surviving rails are the ones whose surroundings can safely carry
+extra placement density.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.density.rasterize import CellRasterizer
+from repro.geometry.grid import Grid2D
+from repro.geometry.rect import Rect
+from repro.netlist.data import PGRailSpec
+from repro.netlist.netlist import Netlist
+
+
+def _cut_interval(lo: float, hi: float, holes: list) -> list:
+    """Subtract hole intervals from [lo, hi]; returns surviving pieces."""
+    pieces = [(lo, hi)]
+    for (a, b) in holes:
+        next_pieces = []
+        for (plo, phi) in pieces:
+            if b <= plo or a >= phi:
+                next_pieces.append((plo, phi))
+                continue
+            if a > plo:
+                next_pieces.append((plo, a))
+            if b < phi:
+                next_pieces.append((b, phi))
+        pieces = next_pieces
+    return pieces
+
+
+def select_pg_rails(
+    netlist: Netlist,
+    expand_fraction: float = 0.1,
+    min_span_fraction: float = 0.2,
+) -> list:
+    """Cut rails by expanded macro boxes and keep the long pieces.
+
+    Returns a new list of :class:`PGRailSpec` (pieces of the original
+    rails).  Non-macro fixed cells are ignored — only macro bounding
+    boxes cut rails, as in the paper.
+    """
+    boxes = [
+        netlist.cell_rect(i).expanded(expand_fraction)
+        for i in np.flatnonzero(netlist.cell_macro)
+    ]
+    die = netlist.die
+    selected: list[PGRailSpec] = []
+    for rail in netlist.pg_rails:
+        r = rail.rect
+        if rail.horizontal:
+            holes = [
+                (box.xlo, box.xhi)
+                for box in boxes
+                if box.ylo < r.yhi and box.yhi > r.ylo
+            ]
+            min_len = min_span_fraction * die.width
+            for (lo, hi) in _cut_interval(r.xlo, r.xhi, holes):
+                if hi - lo >= min_len:
+                    selected.append(
+                        PGRailSpec(rect=Rect(lo, r.ylo, hi, r.yhi), horizontal=True)
+                    )
+        else:
+            holes = [
+                (box.ylo, box.yhi)
+                for box in boxes
+                if box.xlo < r.xhi and box.xhi > r.xlo
+            ]
+            min_len = min_span_fraction * die.height
+            for (lo, hi) in _cut_interval(r.ylo, r.yhi, holes):
+                if hi - lo >= min_len:
+                    selected.append(
+                        PGRailSpec(rect=Rect(r.xlo, lo, r.xhi, hi), horizontal=False)
+                    )
+    return selected
+
+
+def rail_area_map(rails: list, grid: Grid2D) -> np.ndarray:
+    """``sum_i A_{PG_i ∩ b}`` per bin: rail area overlapping each bin.
+
+    Precomputed once per design — the rails never move; only the
+    congestion weighting of Eq. (14) changes between rounds.
+    """
+    if not rails:
+        return grid.zeros()
+    cx = np.array([r.rect.center[0] for r in rails])
+    cy = np.array([r.rect.center[1] for r in rails])
+    w = np.array([r.rect.width for r in rails])
+    h = np.array([r.rect.height for r in rails])
+    raster = CellRasterizer(grid, cx, cy, w, h, smooth=False)
+    return raster.charge_map()

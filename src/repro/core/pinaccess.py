@@ -1,0 +1,66 @@
+"""Dynamic pin-accessibility density adjustment (Sec. III-C step 2).
+
+Bins covered by *selected* PG rails whose congestion exceeds the map
+average receive extra density (Eq. 13-15)::
+
+    D_b = D_b^ori + D_b^PG
+    D_b^PG = eta_b * (1 + C_b) / A_b * sum_i A_{PG_i ∩ b}
+    eta_b  = 1 if C_b > C_bar else 0
+
+The electrostatic engine consumes *charge* maps (area units), so this
+module emits ``D_b^PG * A_b`` — an extra static charge added to the
+density system.  It is recomputed every routability round from the
+fresh congestion map, which is what makes the adjustment *dynamic*
+(Xplace-Route's static variant adjusts once, before placement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.grid import Grid2D
+
+
+@dataclass
+class PinAccessConfig:
+    """Knobs of the dynamic PG-rail density.
+
+    Attributes
+    ----------
+    density_scale:
+        Multiplier on the rail charge.  The paper uses the raw metal
+        area; because synthetic rails are thin, the blocked region
+        around a rail (routing margin on M1) is better represented by
+        a slightly amplified footprint.  Set to 1.0 for the literal
+        Eq. (14).
+    """
+
+    density_scale: float = 1.5
+
+
+def pg_density_charge(
+    grid: Grid2D,
+    rail_area: np.ndarray,
+    congestion: np.ndarray,
+    config: PinAccessConfig | None = None,
+) -> np.ndarray:
+    """Extra static charge map ``D_b^PG * A_b`` (Eq. 14-15).
+
+    Parameters
+    ----------
+    rail_area:
+        Selected-rail overlap area per bin (precomputed once, see
+        :func:`repro.core.pgrails.rail_area_map`).
+    congestion:
+        Current Eq. (3) congestion map on the same grid.
+    """
+    cfg = config or PinAccessConfig()
+    if rail_area.shape != grid.shape or congestion.shape != grid.shape:
+        raise ValueError("map shapes must match the grid")
+    mean_c = float(congestion.mean())
+    eta = congestion > mean_c
+    return np.where(
+        eta, cfg.density_scale * (1.0 + congestion) * rail_area, 0.0
+    )

@@ -1,0 +1,427 @@
+"""The integrated routability-driven global placement flow (Fig. 2).
+
+Stages, in the paper's order:
+
+1. select PG rails from macro positions (pin-accessibility prep);
+2. wirelength-driven global placement (Xplace stand-in) for the
+   initial solution;
+3. routability loop — each round:
+   a. global routing (Z-shape router) -> congestion map (Eq. 3) and
+      utilization (the congestion Poisson charge);
+   b. momentum-based cell inflation update (MCI, Eq. 11-12);
+   c. dynamic pin-accessibility density adjustment (DPA, Eq. 13-15);
+   d. solve problem (5) with Nesterov, where the congestion gradient
+      is assembled per Alg. 1 + Alg. 2 and weighted by Eq. (10) (DC);
+   repeated until C(x, y) stops decreasing or the round cap;
+4. hand the result to legalization / detailed placement (separate
+   modules — see :mod:`repro.legalize` and :mod:`repro.detail`).
+
+Each of MCI / DC / DPA can be disabled independently, which is exactly
+the ablation axis of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.congestion_field import CongestionField
+from repro.core.inflation import InflationConfig, MomentumInflation
+from repro.core.multipin import multi_pin_cell_gradients
+from repro.core.netmove import NetMoveConfig, two_pin_net_gradients
+from repro.core.pgrails import rail_area_map, select_pg_rails
+from repro.core.pinaccess import PinAccessConfig, pg_density_charge
+from repro.core.weights import congestion_penalty_weight, count_cells_in_congestion
+from repro.netlist.netlist import Netlist
+from repro.place.config import GPConfig
+from repro.place.global_placer import GlobalPlacer
+from repro.place.initial import initial_placement
+from repro.route.config import RouterConfig
+from repro.route.router import GlobalRouter, RoutingResult
+from repro.utils.logging import get_logger
+from repro.utils.timer import Timer
+from repro.wirelength.hpwl import hpwl as hpwl_of
+
+logger = get_logger("core.rd_placer")
+
+
+@dataclass
+class RDConfig:
+    """Configuration of the routability-driven flow.
+
+    ``enable_mci`` / ``enable_dc`` / ``enable_dpa`` toggle the paper's
+    three techniques (Table II ablation axis).
+    """
+
+    gp: GPConfig = field(default_factory=GPConfig)
+    router: RouterConfig = field(default_factory=RouterConfig)
+    inflation: InflationConfig = field(default_factory=InflationConfig)
+    netmove: NetMoveConfig = field(default_factory=NetMoveConfig)
+    pinaccess: PinAccessConfig = field(default_factory=PinAccessConfig)
+    inflation_mode: str = "momentum"  # "momentum" (MCI) | "present" | "off"
+    pg_mode: str = "dynamic"  # "dynamic" (DPA) | "static" | "off"
+    enable_dc: bool = True
+    max_rounds: int = 8
+    iters_per_round: int = 50
+    multipin_threshold: float = 0.7
+    patience: int = 2
+    c_improve_tol: float = 1e-3
+    # skip/stop the routability loop when the routed congestion is
+    # negligible: there is nothing to mitigate, and perturbing a
+    # converged placement can only hurt
+    stop_mean_congestion: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        if self.iters_per_round < 1:
+            raise ValueError("iters_per_round must be >= 1")
+        if self.inflation_mode not in ("momentum", "present", "off"):
+            raise ValueError(f"unknown inflation_mode {self.inflation_mode!r}")
+        if self.pg_mode not in ("dynamic", "static", "off"):
+            raise ValueError(f"unknown pg_mode {self.pg_mode!r}")
+
+    @property
+    def enable_mci(self) -> bool:
+        """Momentum-based cell inflation active (Table II column MCI)."""
+        return self.inflation_mode == "momentum"
+
+    @property
+    def enable_dpa(self) -> bool:
+        """Dynamic pin-accessibility density active (column DPA)."""
+        return self.pg_mode == "dynamic"
+
+
+@dataclass
+class RoundRecord:
+    """Diagnostics of one routability round."""
+
+    round_id: int
+    c_value: float
+    mean_congestion: float
+    max_congestion: float
+    congested_fraction: float
+    total_overflow: float
+    hpwl: float
+    lambda2: float
+    n_congested_cells: int
+    mean_inflation: float
+    max_inflation: float
+
+
+@dataclass
+class RDResult:
+    """Outcome of the full routability-driven global placement."""
+
+    netlist: Netlist
+    rounds: list
+    final_routing: RoutingResult
+    selected_rails: list
+    placement_time: float
+    initial_gp_iters: int
+    best_round: int = -1
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    def series(self, key: str) -> list:
+        return [getattr(r, key) for r in self.rounds]
+
+
+class RoutabilityDrivenPlacer:
+    """Run the Fig. 2 flow on a netlist (positions mutated in place)."""
+
+    def __init__(self, netlist: Netlist, config: RDConfig | None = None) -> None:
+        self.netlist = netlist
+        self.config = config or RDConfig()
+        self.gp = GlobalPlacer(netlist, self.config.gp)
+        self.router = GlobalRouter(self.gp.grid, self.config.router)
+        self.inflation = MomentumInflation(netlist.n_cells, self.config.inflation)
+        std = netlist.movable & ~netlist.cell_macro
+        self.virtual_area = (
+            float(netlist.cell_area[std].mean()) if std.any() else 1.0
+        )
+        self.last_lambda2 = 0.0
+
+    # ------------------------------------------------------------------
+    def run(self, skip_initial_gp: bool = False) -> RDResult:
+        """Execute the full flow.
+
+        Parameters
+        ----------
+        skip_initial_gp:
+            When True, assume ``netlist`` already holds a
+            wirelength-driven global placement (used by benchmarks
+            that share one initial placement across placers).
+        """
+        cfg = self.config
+        timer = Timer().start()
+
+        selected_rails: list = []
+        rail_area = self.gp.grid.zeros()
+        if cfg.pg_mode == "dynamic":
+            selected_rails = select_pg_rails(self.netlist)
+            rail_area = rail_area_map(selected_rails, self.gp.grid)
+            logger.info("selected %d PG rail pieces", len(selected_rails))
+        elif cfg.pg_mode == "static":
+            # Xplace-Route-style: all rails, adjusted once before
+            # placement, independent of congestion
+            rail_area = rail_area_map(self.netlist.pg_rails, self.gp.grid)
+            self.gp.extra_static_charge = cfg.pinaccess.density_scale * rail_area
+
+        if not skip_initial_gp:
+            from repro.place.global_placer import converge_placement
+
+            initial_placement(self.netlist, cfg.gp.seed)
+            converge_placement(self.netlist, cfg.gp)
+        initial_iters = len(self.gp.history)
+
+        rounds: list[RoundRecord] = []
+        best_c = np.inf
+        stall = 0
+        # best-placement checkpoint: the loop perturbs a converged
+        # placement, so the final round is not necessarily the best
+        # one.  Round 0 is the incoming (wirelength-driven) placement;
+        # keeping the lowest-overflow snapshot guarantees the flow
+        # never returns something worse than its own starting point.
+        best_score = np.inf
+        best_positions: tuple[np.ndarray, np.ndarray] | None = None
+        best_routing: RoutingResult | None = None
+        best_round = -1
+
+        routing = self.router.route(self.netlist)
+        hpwl_ref = max(hpwl_of(self.netlist), 1e-12)
+        for round_id in range(cfg.max_rounds):
+            score = self._routing_score(routing, hpwl_of(self.netlist), hpwl_ref)
+            if score < best_score:
+                best_score = score
+                best_positions = (self.netlist.x.copy(), self.netlist.y.copy())
+                best_routing = routing
+                best_round = round_id
+            cong = routing.congestion
+            c_map = cong.congestion
+            fld = CongestionField(self.gp.grid, cong.utilization)
+
+            cell_cong = self.gp.grid.value_at(
+                c_map, self.netlist.x, self.netlist.y
+            )
+            if cfg.inflation_mode == "momentum":
+                rates = self.inflation.update(cell_cong)
+                self.gp.size_scale = np.sqrt(self._budgeted_rates(rates))
+            elif cfg.inflation_mode == "present":
+                # present-congestion-only inflation ([3, 5] style):
+                # the rate follows the current map with no history, so
+                # cells deflate instantly after leaving a hotspot
+                rates = np.clip(
+                    1.0 + cell_cong,
+                    self.config.inflation.r_min,
+                    self.config.inflation.r_max,
+                )
+                self.gp.size_scale = np.sqrt(self._budgeted_rates(rates))
+
+            if cfg.pg_mode == "dynamic":
+                self.gp.extra_static_charge = pg_density_charge(
+                    self.gp.grid, rail_area, c_map, cfg.pinaccess
+                )
+
+            if cfg.enable_dc:
+                self.gp.extra_grad_fn = self._make_congestion_grad(fld, c_map)
+            else:
+                self.gp.extra_grad_fn = None
+
+            record = self._record_round(round_id, routing, fld, c_map)
+            rounds.append(record)
+            if record.mean_congestion < cfg.stop_mean_congestion:
+                logger.info(
+                    "round %d: congestion negligible (%.2e), stopping",
+                    round_id,
+                    record.mean_congestion,
+                )
+                break
+            if record.hpwl > 1.15 * hpwl_ref:
+                # runaway guard: on globally saturated designs the
+                # inflation/congestion forces can enter a spreading
+                # spiral (longer wires -> more demand -> more
+                # spreading); once wirelength departs this far from
+                # the seed, further rounds only dig deeper
+                logger.info(
+                    "round %d: wirelength runaway (%.0f vs seed %.0f), stopping",
+                    round_id,
+                    record.hpwl,
+                    hpwl_ref,
+                )
+                break
+            logger.info(
+                "round %d: C=%.4e mean_cong=%.4f hpwl=%.4e lambda2=%.3e",
+                round_id,
+                record.c_value,
+                record.mean_congestion,
+                record.hpwl,
+                record.lambda2,
+            )
+
+            # stop when C(x, y) no longer decreases (Fig. 2 exit arc)
+            if record.c_value < best_c * (1.0 - cfg.c_improve_tol):
+                best_c = record.c_value
+                stall = 0
+            else:
+                stall += 1
+                if stall >= cfg.patience:
+                    break
+
+            self.gp.reset_solver()
+            self.gp.run(
+                max_iters=cfg.iters_per_round, min_iters=cfg.iters_per_round
+            )
+            routing = self.router.route(self.netlist)
+
+        # the loop's very last routing may beat every checkpoint
+        final_score = self._routing_score(routing, hpwl_of(self.netlist), hpwl_ref)
+        if final_score < best_score:
+            best_positions = None
+            best_routing = routing
+            best_round = len(rounds)
+
+        if best_positions is not None:
+            self.netlist.x[:] = best_positions[0]
+            self.netlist.y[:] = best_positions[1]
+            routing = best_routing if best_routing is not None else routing
+            logger.info("restored best placement from round %d", best_round)
+
+        timer.stop()
+        return RDResult(
+            netlist=self.netlist,
+            rounds=rounds,
+            final_routing=routing,
+            selected_rails=selected_rails,
+            placement_time=timer.elapsed,
+            initial_gp_iters=initial_iters,
+            best_round=best_round,
+        )
+
+    def _budgeted_rates(self, rates: np.ndarray) -> np.ndarray:
+        """Cap total inflated area at the whitespace budget.
+
+        On high-utilization dies, unconstrained inflation can push the
+        total (inflated) movable area past what the die holds, after
+        which no amount of spreading resolves the density — placement
+        and wirelength blow up together.  When the requested rates
+        exceed ``budget_fraction x`` the placeable capacity, all rates
+        are shrunk toward 1 proportionally (standard inflation-budget
+        practice).
+        """
+        nl = self.netlist
+        mv = nl.movable
+        areas = nl.cell_area[mv]
+        requested = float((areas * rates[mv]).sum())
+        fixed_area = float(nl.cell_area[~mv].sum())
+        budget = 0.95 * self.config.gp.target_density * (
+            nl.die.area - fixed_area
+        )
+        if requested <= budget:
+            return rates
+        base = float(areas.sum())
+        extra = requested - base
+        if extra <= 0:
+            return rates
+        k = max((budget - base) / extra, 0.0)
+        logger.info("inflation budget hit: scaling rate excess by %.3f", k)
+        return 1.0 + (rates - 1.0) * k
+
+    @staticmethod
+    def _routing_score(
+        routing: RoutingResult, cur_hpwl: float, ref_hpwl: float
+    ) -> float:
+        """Checkpoint score.
+
+        Squared per-G-cell overflow (the quantity the detailed-routing
+        violation count tracks) times a quadratic wirelength penalty
+        relative to the incoming placement: flattening hotspots by
+        doubling every wire is not an improvement — longer wires mean
+        proportionally more demand once routed at the finer
+        evaluation resolution.
+        """
+        g = routing.grid
+        h_over = np.maximum(g.h_demand - g.h_cap, 0.0)
+        v_over = np.maximum(g.v_demand - g.v_cap, 0.0)
+        sq = float((h_over**2).sum() + (v_over**2).sum())
+        wl_factor = max(cur_hpwl / max(ref_hpwl, 1e-12), 1.0)
+        return sq * wl_factor
+
+    # ------------------------------------------------------------------
+    def _make_congestion_grad(self, fld: CongestionField, c_map: np.ndarray):
+        """Closure evaluated by the placer at every solver iteration.
+
+        Assembles CGrad per Alg. 2 (two-pin net moving + multi-pin
+        cells) at the *current* positions against this round's fixed
+        congestion field, then scales it by Eq. (10).
+        """
+        nl = self.netlist
+        grid = self.gp.grid
+        cfg = self.config
+        n_congested = count_cells_in_congestion(nl, grid, c_map)
+
+        def _grad() -> tuple[np.ndarray, np.ndarray]:
+            net_gx, net_gy, _ = two_pin_net_gradients(
+                nl, grid, c_map, fld, self.virtual_area, cfg.netmove
+            )
+            cell_gx, cell_gy, _ = multi_pin_cell_gradients(
+                nl, grid, c_map, fld, cfg.multipin_threshold
+            )
+            gx = net_gx + cell_gx
+            gy = net_gy + cell_gy
+            l1 = float(np.abs(gx).sum() + np.abs(gy).sum())
+            lam2 = congestion_penalty_weight(
+                self.gp.last_wl_grad_l1, l1, n_congested, nl.n_cells
+            )
+            self.last_lambda2 = lam2
+            return lam2 * gx, lam2 * gy
+
+        return _grad
+
+    def _record_round(
+        self,
+        round_id: int,
+        routing: RoutingResult,
+        fld: CongestionField,
+        c_map: np.ndarray,
+    ) -> RoundRecord:
+        nl = self.netlist
+        grid = self.gp.grid
+        cfg = self.config
+
+        # C(x, y) over V' = selected multi-pin cells + virtual cells
+        from repro.core.netmove import virtual_cell_positions
+
+        info = virtual_cell_positions(nl, grid, c_map, cfg.netmove)
+        act = info["active"]
+        c_value = 0.0
+        if act.any():
+            c_value += fld.penalty(
+                info["xv"][act], info["yv"][act], self.virtual_area
+            )
+        _, _, selected = multi_pin_cell_gradients(
+            nl, grid, c_map, fld, cfg.multipin_threshold
+        )
+        if selected.any():
+            ids = np.flatnonzero(selected)
+            c_value += fld.penalty(nl.x[ids], nl.y[ids], nl.cell_area[ids])
+
+        from repro.wirelength.hpwl import hpwl
+
+        n_congested = count_cells_in_congestion(nl, grid, c_map)
+        return RoundRecord(
+            round_id=round_id,
+            c_value=c_value,
+            mean_congestion=float(c_map.mean()),
+            max_congestion=float(c_map.max()),
+            congested_fraction=float((c_map > 0).mean()),
+            total_overflow=routing.total_overflow,
+            hpwl=hpwl(nl),
+            lambda2=self.last_lambda2,
+            n_congested_cells=n_congested,
+            mean_inflation=float((self.gp.size_scale**2).mean()),
+            max_inflation=float((self.gp.size_scale**2).max()),
+        )

@@ -1,0 +1,35 @@
+"""Congestion penalty weight lambda_2 (Eq. 10).
+
+``lambda_2 = (2 N_C / N) * ||grad W||_1 / ||grad C||_1`` — the L1 ratio
+normalizes the congestion force against the wirelength force, and the
+``2 N_C / N`` coefficient scales it by how much of the design currently
+sits in congested regions: heavy congestion prioritizes the congestion
+term, light congestion hands priority back to wirelength.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.grid import Grid2D
+from repro.netlist.netlist import Netlist
+
+
+def count_cells_in_congestion(
+    netlist: Netlist, grid: Grid2D, congestion: np.ndarray, threshold: float = 0.0
+) -> int:
+    """``N_C``: movable cells whose center G-cell is congested."""
+    cell_cong = grid.value_at(congestion, netlist.x, netlist.y)
+    return int(((cell_cong > threshold) & netlist.movable).sum())
+
+
+def congestion_penalty_weight(
+    wl_grad_l1: float,
+    cong_grad_l1: float,
+    n_congested_cells: int,
+    n_cells: int,
+) -> float:
+    """Evaluate Eq. (10); returns 0 when there is no congestion force."""
+    if cong_grad_l1 <= 0.0 or n_cells <= 0:
+        return 0.0
+    return (2.0 * n_congested_cells / n_cells) * (wl_grad_l1 / cong_grad_l1)

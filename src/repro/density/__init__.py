@@ -1,0 +1,20 @@
+"""Electrostatics-based density engine (ePlace [15] substrate).
+
+Pipeline: cell rectangles are rasterized into a bin grid as charge
+(:mod:`repro.density.rasterize`), Poisson's equation (Eq. 1 of the
+paper) is solved spectrally (:mod:`repro.density.poisson`), and
+:class:`ElectrostaticSystem` ties both together to produce the density
+penalty, per-cell energies and gradient forces.
+"""
+
+from repro.density.rasterize import CellRasterizer
+from repro.density.poisson import PoissonSolver, solve_poisson_fd
+from repro.density.electrostatic import ElectrostaticSystem, FieldSolution
+
+__all__ = [
+    "CellRasterizer",
+    "PoissonSolver",
+    "solve_poisson_fd",
+    "ElectrostaticSystem",
+    "FieldSolution",
+]

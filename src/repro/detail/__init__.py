@@ -1,0 +1,13 @@
+"""Detailed placement refinement on legalized rows.
+
+Stand-in for the routability-driven detailed placement of
+Xplace-Route [8]: legality-preserving local moves (in-row shifts toward
+the connected-pin median, adjacent equal-width swaps) that reduce HPWL,
+with an optional congestion gate that refuses moves into congested
+G-cells.
+"""
+
+from repro.detail.incremental import IncrementalWirelength
+from repro.detail.refine import DetailStats, detailed_place
+
+__all__ = ["IncrementalWirelength", "DetailStats", "detailed_place"]

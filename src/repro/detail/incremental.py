@@ -1,0 +1,66 @@
+"""Incremental HPWL evaluation for local moves.
+
+Detailed placement evaluates thousands of candidate moves; recomputing
+the whole-design HPWL each time would dominate runtime.
+:class:`IncrementalWirelength` re-evaluates only the nets incident to
+the cells that moved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+
+
+class IncrementalWirelength:
+    """HPWL oracle with per-net re-evaluation."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+
+    def nets_of_cells(self, cell_ids) -> np.ndarray:
+        """Unique net ids incident to the given cells."""
+        nl = self.netlist
+        pin_lists = [nl.cell_pins(c) for c in np.atleast_1d(cell_ids)]
+        if not pin_lists:
+            return np.zeros(0, dtype=np.int64)
+        pins = np.concatenate(pin_lists)
+        if len(pins) == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(nl.pin_net[pins])
+
+    def nets_hpwl(self, net_ids: np.ndarray) -> float:
+        """Total HPWL of the given nets at current positions."""
+        nl = self.netlist
+        total = 0.0
+        for e in net_ids:
+            pins = nl.net_pins(int(e))
+            if len(pins) < 2:
+                continue
+            px = nl.x[nl.pin_cell[pins]] + nl.pin_offset_x[pins]
+            py = nl.y[nl.pin_cell[pins]] + nl.pin_offset_y[pins]
+            total += (px.max() - px.min()) + (py.max() - py.min())
+        return total
+
+    def delta_for_move(self, cell_id: int, new_x: float, new_y: float) -> float:
+        """HPWL change if ``cell_id`` moved to ``(new_x, new_y)``."""
+        nl = self.netlist
+        nets = self.nets_of_cells([cell_id])
+        before = self.nets_hpwl(nets)
+        old = (nl.x[cell_id], nl.y[cell_id])
+        nl.x[cell_id], nl.y[cell_id] = new_x, new_y
+        after = self.nets_hpwl(nets)
+        nl.x[cell_id], nl.y[cell_id] = old
+        return after - before
+
+    def delta_for_swap(self, a: int, b: int) -> float:
+        """HPWL change if cells ``a`` and ``b`` exchanged positions."""
+        nl = self.netlist
+        nets = self.nets_of_cells([a, b])
+        before = self.nets_hpwl(nets)
+        ax, ay, bx, by = nl.x[a], nl.y[a], nl.x[b], nl.y[b]
+        nl.x[a], nl.y[a], nl.x[b], nl.y[b] = bx, by, ax, ay
+        after = self.nets_hpwl(nets)
+        nl.x[a], nl.y[a], nl.x[b], nl.y[b] = ax, ay, bx, by
+        return after - before

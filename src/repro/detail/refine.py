@@ -1,0 +1,181 @@
+"""Detailed placement passes: in-row shifts and adjacent swaps.
+
+Both passes preserve legality by construction: shifts stay within the
+slack between a cell's row neighbours (snapped to sites), swaps only
+exchange equal-width cells.  An optional congestion map vetoes moves
+whose destination G-cell is congested — the detailed-placement analogue
+of not moving cells back into trouble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detail.incremental import IncrementalWirelength
+from repro.geometry.grid import Grid2D
+from repro.netlist.netlist import Netlist
+from repro.utils.logging import get_logger
+
+logger = get_logger("detail.refine")
+
+
+@dataclass
+class DetailStats:
+    """Summary of one detailed placement run."""
+
+    passes: int
+    shifts_applied: int
+    swaps_applied: int
+    hpwl_before: float
+    hpwl_after: float
+
+    @property
+    def improvement(self) -> float:
+        return self.hpwl_before - self.hpwl_after
+
+
+def _row_groups(netlist: Netlist) -> tuple[dict, set]:
+    """Cells grouped by row band, sorted by x.
+
+    Fixed cells (macros, pads) overlapping a row are included as
+    immovable boundary members so shifts cannot slide into them; the
+    returned set holds the frozen ids.
+    """
+    rh = netlist.row_height
+    die = netlist.die
+    n_rows = max(int(np.floor(die.height / rh + 1e-9)), 1)
+    groups: dict[int, list[int]] = {}
+    frozen: set[int] = set()
+
+    eligible = netlist.movable & (netlist.cell_height <= rh + 1e-9)
+    for i in np.flatnonzero(eligible):
+        r = int(np.floor((netlist.y[i] - die.ylo) / rh + 1e-9))
+        groups.setdefault(r, []).append(i)
+
+    for i in np.flatnonzero(~eligible):
+        frozen.add(int(i))
+        ylo = netlist.y[i] - netlist.cell_height[i] / 2
+        yhi = netlist.y[i] + netlist.cell_height[i] / 2
+        r0 = int(np.floor((ylo - die.ylo) / rh + 1e-6))
+        r1 = int(np.ceil((yhi - die.ylo) / rh - 1e-6)) - 1
+        for r in range(max(r0, 0), min(r1, n_rows - 1) + 1):
+            if r in groups:
+                groups[r].append(int(i))
+
+    for members in groups.values():
+        members.sort(key=lambda i: netlist.x[i])
+    return groups, frozen
+
+
+def _median_target(netlist: Netlist, oracle: IncrementalWirelength, cell: int) -> float:
+    """Median x of the other pins on the cell's nets (optimal-region center)."""
+    nl = netlist
+    xs: list[float] = []
+    for pin in nl.cell_pins(cell):
+        net = int(nl.pin_net[pin])
+        for q in nl.net_pins(net):
+            if nl.pin_cell[q] != cell:
+                xs.append(float(nl.x[nl.pin_cell[q]] + nl.pin_offset_x[q]))
+    if not xs:
+        return float(nl.x[cell])
+    return float(np.median(xs))
+
+
+def detailed_place(
+    netlist: Netlist,
+    passes: int = 2,
+    grid: Grid2D | None = None,
+    congestion: np.ndarray | None = None,
+    congestion_threshold: float = 0.0,
+) -> DetailStats:
+    """Run shift + swap passes; mutates positions in place.
+
+    Parameters
+    ----------
+    grid, congestion:
+        When both given, a move into a G-cell with congestion above
+        ``congestion_threshold`` is rejected even if it improves HPWL.
+    """
+    oracle = IncrementalWirelength(netlist)
+    from repro.wirelength.hpwl import hpwl
+
+    before = hpwl(netlist)
+    shifts = swaps = 0
+    sw = netlist.site_width
+
+    def congested(x: float, y: float) -> bool:
+        if grid is None or congestion is None:
+            return False
+        return bool(grid.value_at(congestion, x, y) > congestion_threshold)
+
+    for _ in range(passes):
+        groups, frozen = _row_groups(netlist)
+        for members in groups.values():
+            # shift pass: move each cell toward its pin median within slack
+            for idx, cell in enumerate(members):
+                if cell in frozen:
+                    continue
+                w = netlist.cell_width[cell]
+                left = (
+                    netlist.x[members[idx - 1]] + netlist.cell_width[members[idx - 1]] / 2
+                    if idx > 0
+                    else netlist.die.xlo
+                )
+                right = (
+                    netlist.x[members[idx + 1]] - netlist.cell_width[members[idx + 1]] / 2
+                    if idx + 1 < len(members)
+                    else netlist.die.xhi
+                )
+                lo = left + w / 2
+                hi = right - w / 2
+                if hi <= lo:
+                    continue
+                target = np.clip(_median_target(netlist, oracle, cell), lo, hi)
+                # snap left edge to sites, keep inside the slack
+                x_left = round((target - w / 2) / sw) * sw
+                x_new = np.clip(x_left + w / 2, lo, hi)
+                x_left = np.floor((x_new - w / 2) / sw + 0.5) * sw
+                x_new = x_left + w / 2
+                if not lo - 1e-9 <= x_new <= hi + 1e-9:
+                    continue
+                if abs(x_new - netlist.x[cell]) < 1e-12:
+                    continue
+                if congested(x_new, netlist.y[cell]):
+                    continue
+                if oracle.delta_for_move(cell, x_new, netlist.y[cell]) < -1e-12:
+                    netlist.x[cell] = x_new
+                    shifts += 1
+
+            # swap pass: adjacent equal-width cells
+            for idx in range(len(members) - 1):
+                a, b = members[idx], members[idx + 1]
+                if a in frozen or b in frozen:
+                    continue
+                if abs(netlist.cell_width[a] - netlist.cell_width[b]) > 1e-9:
+                    continue
+                if congested(netlist.x[b], netlist.y[b]) or congested(
+                    netlist.x[a], netlist.y[a]
+                ):
+                    continue
+                if oracle.delta_for_swap(a, b) < -1e-12:
+                    netlist.x[a], netlist.x[b] = netlist.x[b], netlist.x[a]
+                    members[idx], members[idx + 1] = b, a
+                    swaps += 1
+
+    after = hpwl(netlist)
+    logger.info(
+        "detailed placement: %d shifts, %d swaps, hpwl %.4e -> %.4e",
+        shifts,
+        swaps,
+        before,
+        after,
+    )
+    return DetailStats(
+        passes=passes,
+        shifts_applied=shifts,
+        swaps_applied=swaps,
+        hpwl_before=before,
+        hpwl_after=after,
+    )

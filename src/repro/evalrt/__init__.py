@@ -1,0 +1,39 @@
+"""Routing-outcome evaluation (detailed-routing proxy).
+
+The paper measures placement quality by feeding every placement to the
+same commercial router (Innovus) and reporting detailed-routing
+wirelength (DRWL), via count (#DRVias) and violations (#DRVs).  Without
+a commercial router, :func:`evaluate_routing` runs this repo's global
+router on a finer evaluation grid with extra rip-up rounds and derives:
+
+* **DRWL** — routed wirelength;
+* **#DRVias** — via demand of the routed solution;
+* **#DRVs** — a violation model with the same physical causes Innovus
+  reports: wiring overflow (shorts/spacing) plus pin-access failures
+  (pins under PG rails in congested regions, and pin crowding beyond
+  the accessible-track budget per G-cell).
+
+Because every placer is evaluated by the *same* proxy, the relative
+comparisons (who wins, by what factor) are meaningful even though the
+absolute counts are not Innovus numbers.
+"""
+
+from repro.evalrt.config import EvalConfig
+from repro.evalrt.evaluator import (
+    RoutingEvaluation,
+    evaluate_routing,
+    evaluation_grid,
+)
+from repro.evalrt.pinaccess import pin_access_violations
+from repro.evalrt.report import MetricRow, format_table, ratio_row
+
+__all__ = [
+    "EvalConfig",
+    "RoutingEvaluation",
+    "evaluate_routing",
+    "evaluation_grid",
+    "pin_access_violations",
+    "MetricRow",
+    "format_table",
+    "ratio_row",
+]

@@ -1,0 +1,102 @@
+"""Tabular reporting in the style of Table I / Table II.
+
+Rows carry per-design metrics for several placers; the footer is the
+paper's "Avg. Ratio" row — per-design ratios against a reference
+placer, averaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MetricRow:
+    """Metrics of one (design, placer) pair."""
+
+    design: str
+    placer: str
+    metrics: dict = field(default_factory=dict)
+
+    def get(self, key: str) -> float:
+        return float(self.metrics[key])
+
+
+def ratio_row(
+    rows: list,
+    reference_placer: str,
+    keys: tuple = ("DRWL", "#DRVias", "#DRVs", "PT", "RT"),
+    exclude: dict | None = None,
+) -> dict:
+    """Per-placer average of per-design metric ratios vs the reference.
+
+    ``exclude`` maps a metric key to a set of (design, placer) pairs to
+    drop, mirroring the paper's footnote that excludes Xplace's
+    superblue12 DRV blow-up from the mean.
+    """
+    exclude = exclude or {}
+    by_design: dict[str, dict[str, MetricRow]] = {}
+    placers: list[str] = []
+    for row in rows:
+        by_design.setdefault(row.design, {})[row.placer] = row
+        if row.placer not in placers:
+            placers.append(row.placer)
+
+    result: dict[str, dict[str, float]] = {p: {} for p in placers}
+    for placer in placers:
+        for key in keys:
+            ratios = []
+            for design, per_placer in by_design.items():
+                if placer not in per_placer or reference_placer not in per_placer:
+                    continue
+                if (design, placer) in exclude.get(key, set()):
+                    continue
+                ref = per_placer[reference_placer].get(key)
+                val = per_placer[placer].get(key)
+                if ref > 0:
+                    ratios.append(val / ref)
+            result[placer][key] = sum(ratios) / len(ratios) if ratios else float("nan")
+    return result
+
+
+def format_table(
+    rows: list,
+    keys: tuple = ("DRWL", "#DRVias", "#DRVs", "PT", "RT"),
+    reference_placer: str | None = None,
+    exclude: dict | None = None,
+) -> str:
+    """Render rows as a fixed-width text table with an Avg. Ratio footer."""
+    placers: list[str] = []
+    designs: list[str] = []
+    for row in rows:
+        if row.placer not in placers:
+            placers.append(row.placer)
+        if row.design not in designs:
+            designs.append(row.design)
+
+    by = {(r.design, r.placer): r for r in rows}
+    header = ["Design".ljust(16)]
+    for p in placers:
+        for k in keys:
+            header.append(f"{p[:10]}:{k}".rjust(16))
+    lines = ["".join(header)]
+    for d in designs:
+        cells = [d.ljust(16)]
+        for p in placers:
+            row = by.get((d, p))
+            for k in keys:
+                if row is None:
+                    cells.append("-".rjust(16))
+                else:
+                    v = row.get(k)
+                    cells.append(f"{v:,.0f}".rjust(16) if v >= 100 else f"{v:.2f}".rjust(16))
+        lines.append("".join(cells))
+
+    if reference_placer is not None:
+        ratios = ratio_row(rows, reference_placer, keys, exclude)
+        cells = ["Avg. Ratio".ljust(16)]
+        for p in placers:
+            for k in keys:
+                cells.append(f"{ratios[p][k]:.2f}".rjust(16))
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Segment helpers used by the two-pin net moving technique (Alg. 1).
+
+The paper samples ``k`` candidate points proportionally along the
+pin-to-pin segment (Eq. 6-7), then needs the segment length ``L`` and a
+unit normal oriented to form an acute angle with the congestion gradient
+at the virtual cell (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def segment_length(p1: tuple[float, float], p2: tuple[float, float]) -> float:
+    """Euclidean length ``L`` of segment ``p1 p2``."""
+    return math.hypot(p2[0] - p1[0], p2[1] - p1[1])
+
+
+def sample_segment(
+    p1: tuple[float, float],
+    p2: tuple[float, float],
+    k: int,
+) -> np.ndarray:
+    """``k`` interior points per Eq. (7): ``p1 + i/(k+1) (p2-p1)``, i=1..k.
+
+    Returns an array of shape ``(k, 2)``; empty when ``k <= 0``.
+    """
+    if k <= 0:
+        return np.empty((0, 2), dtype=np.float64)
+    t = np.arange(1, k + 1, dtype=np.float64) / (k + 1)
+    x = p1[0] + t * (p2[0] - p1[0])
+    y = p1[1] + t * (p2[1] - p1[1])
+    return np.stack([x, y], axis=1)
+
+
+def unit_normal(
+    p1: tuple[float, float],
+    p2: tuple[float, float],
+    toward: tuple[float, float] | None = None,
+) -> tuple[float, float]:
+    """Unit vector perpendicular to segment ``p1 p2``.
+
+    When ``toward`` is given, the normal is oriented to form an acute
+    (non-obtuse) angle with that vector, matching line 5 of Alg. 1 where
+    the normal must point along the congestion gradient side of the
+    segment.  Degenerate (zero-length) segments return the normalized
+    ``toward`` direction itself, or ``(0, 0)`` if that is also zero.
+    """
+    dx = p2[0] - p1[0]
+    dy = p2[1] - p1[1]
+    norm = math.hypot(dx, dy)
+    if norm == 0.0:
+        if toward is None:
+            return (0.0, 0.0)
+        tnorm = math.hypot(toward[0], toward[1])
+        if tnorm == 0.0:
+            return (0.0, 0.0)
+        return (toward[0] / tnorm, toward[1] / tnorm)
+    nx, ny = -dy / norm, dx / norm
+    if toward is not None and (nx * toward[0] + ny * toward[1]) < 0.0:
+        nx, ny = -nx, -ny
+    return (nx, ny)

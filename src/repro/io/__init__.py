@@ -1,0 +1,12 @@
+"""Design file I/O: a Bookshelf-lite text format.
+
+The ISPD 2015 benchmarks ship as LEF/DEF; this repo's synthetic suite
+uses a compact single-file text format carrying the same information
+the algorithms need (die, rows, cells, nets with pin offsets, PG
+rails).  Round-trips exactly through :func:`save_design` /
+:func:`load_design`.
+"""
+
+from repro.io.bookshelf import load_design, save_design, dumps_design, loads_design
+
+__all__ = ["load_design", "save_design", "dumps_design", "loads_design"]

@@ -1,0 +1,23 @@
+"""Row-based legalization: Tetris greedy assignment + Abacus refinement.
+
+The paper hands its global placement to the routability-driven
+legalization/detailed placement of Xplace-Route [8]; here the
+equivalent stage is :func:`legalize` — Tetris assigns every movable
+standard cell to a legal row/site position near its global location,
+then Abacus minimizes quadratic displacement within each row segment.
+Macros and other fixed cells are treated as blockages.
+"""
+
+from repro.legalize.rows import RowMap, build_row_map
+from repro.legalize.tetris import tetris_legalize
+from repro.legalize.abacus import abacus_refine
+from repro.legalize.api import legalize, check_legal
+
+__all__ = [
+    "RowMap",
+    "build_row_map",
+    "tetris_legalize",
+    "abacus_refine",
+    "legalize",
+    "check_legal",
+]

@@ -1,0 +1,114 @@
+"""Top-level legalization entry point and legality checking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.legalize.abacus import abacus_refine
+from repro.legalize.rows import build_row_map
+from repro.legalize.tetris import tetris_legalize
+from repro.netlist.netlist import Netlist
+from repro.utils.logging import get_logger
+
+logger = get_logger("legalize.api")
+
+
+@dataclass
+class LegalizeStats:
+    """Displacement summary of one legalization run."""
+
+    total_displacement: float
+    max_displacement: float
+    mean_displacement: float
+    n_cells: int
+
+
+def legalize(netlist: Netlist, use_abacus: bool = True) -> LegalizeStats:
+    """Legalize all movable single-row cells in place.
+
+    Tetris provides the row/segment assignment; Abacus then minimizes
+    quadratic displacement within each segment (disable with
+    ``use_abacus=False`` for the pure greedy result).
+    """
+    old_x = netlist.x.copy()
+    old_y = netlist.y.copy()
+    rowmap = build_row_map(netlist)
+    try:
+        assignment = tetris_legalize(netlist, rowmap)
+    except RuntimeError:
+        # displacement-minimizing packing fragmented the free space;
+        # retry in compact (first-fit) mode, Abacus will pull cells
+        # back toward their global positions afterwards
+        logger.warning("tetris retrying in compact mode for %s", netlist.name)
+        netlist.x[:] = old_x
+        netlist.y[:] = old_y
+        rowmap = build_row_map(netlist)
+        assignment = tetris_legalize(netlist, rowmap, compact=True)
+    if use_abacus and len(assignment.cell_ids):
+        abacus_refine(netlist, rowmap, assignment, old_x)
+
+    ids = assignment.cell_ids
+    if len(ids) == 0:
+        return LegalizeStats(0.0, 0.0, 0.0, 0)
+    disp = np.abs(netlist.x[ids] - old_x[ids]) + np.abs(netlist.y[ids] - old_y[ids])
+    return LegalizeStats(
+        total_displacement=float(disp.sum()),
+        max_displacement=float(disp.max()),
+        mean_displacement=float(disp.mean()),
+        n_cells=len(ids),
+    )
+
+
+def check_legal(netlist: Netlist, tolerance: float = 1e-6) -> list:
+    """Return a list of human-readable legality violations.
+
+    Checks: cells inside die, movable single-row cells aligned to rows
+    and sites, and no overlap between any two cells occupying the same
+    row band (including fixed blockages).
+    """
+    violations: list[str] = []
+    die = netlist.die
+    rh = netlist.row_height
+    sw = netlist.site_width
+
+    half_w = netlist.cell_width / 2
+    half_h = netlist.cell_height / 2
+    outside = (
+        (netlist.x - half_w < die.xlo - tolerance)
+        | (netlist.x + half_w > die.xhi + tolerance)
+        | (netlist.y - half_h < die.ylo - tolerance)
+        | (netlist.y + half_h > die.yhi + tolerance)
+    )
+    for i in np.flatnonzero(outside):
+        violations.append(f"cell {netlist.cell_names[i]} outside die")
+
+    single_row = netlist.movable & (netlist.cell_height <= rh + 1e-9)
+    for i in np.flatnonzero(single_row):
+        y_bot = netlist.y[i] - half_h[i] - die.ylo
+        if abs(y_bot - round(y_bot / rh) * rh) > tolerance:
+            violations.append(f"cell {netlist.cell_names[i]} not row-aligned")
+        x_left = netlist.x[i] - half_w[i]
+        if abs(x_left - round(x_left / sw) * sw) > tolerance:
+            violations.append(f"cell {netlist.cell_names[i]} not site-aligned")
+
+    # overlap sweep per row band
+    n_rows = max(int(np.floor(die.height / rh + 1e-9)), 1)
+    row_members: list[list[int]] = [[] for _ in range(n_rows)]
+    for i in range(netlist.n_cells):
+        r0 = int(np.floor((netlist.y[i] - half_h[i] - die.ylo) / rh + 1e-6))
+        r1 = int(np.ceil((netlist.y[i] + half_h[i] - die.ylo) / rh - 1e-6)) - 1
+        for r in range(max(r0, 0), min(r1, n_rows - 1) + 1):
+            row_members[r].append(i)
+
+    for r, members in enumerate(row_members):
+        members.sort(key=lambda i: netlist.x[i] - half_w[i])
+        for a, b in zip(members, members[1:]):
+            right_a = netlist.x[a] + half_w[a]
+            left_b = netlist.x[b] - half_w[b]
+            if right_a > left_b + tolerance:
+                violations.append(
+                    f"overlap in row {r}: {netlist.cell_names[a]} / {netlist.cell_names[b]}"
+                )
+    return violations

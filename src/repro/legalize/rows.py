@@ -1,0 +1,106 @@
+"""Placement rows and their free segments.
+
+A die is divided into standard-cell rows of height ``row_height``.
+Fixed cells and macros carve *blocked* intervals out of rows; the
+remaining free segments are where legalization may put cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class Segment:
+    """One free interval of a row.  ``cursor`` tracks greedy filling."""
+
+    xlo: float
+    xhi: float
+    cursor: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.cursor = max(self.cursor, self.xlo)
+
+    @property
+    def free_width(self) -> float:
+        return self.xhi - self.cursor
+
+
+@dataclass
+class RowMap:
+    """All rows of a die with their free segments."""
+
+    y_bottoms: np.ndarray
+    row_height: float
+    site_width: float
+    segments: list = field(default_factory=list)  # list[list[Segment]]
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.y_bottoms)
+
+    def row_of(self, y_center: float) -> int:
+        """Nearest row index for a cell center y."""
+        r = int(np.round((y_center - self.row_height / 2 - self.y_bottoms[0]) / self.row_height))
+        return min(max(r, 0), self.n_rows - 1)
+
+    def row_center_y(self, row: int) -> float:
+        return float(self.y_bottoms[row] + self.row_height / 2)
+
+    def snap_x(self, x: float) -> float:
+        """Snap a left edge to the nearest site boundary."""
+        return round(x / self.site_width) * self.site_width
+
+    def site_ceil(self, x: float) -> float:
+        """Smallest site boundary >= x."""
+        return np.ceil(x / self.site_width - 1e-9) * self.site_width
+
+    def site_floor(self, x: float) -> float:
+        """Largest site boundary <= x."""
+        return np.floor(x / self.site_width + 1e-9) * self.site_width
+
+
+def build_row_map(netlist: Netlist) -> RowMap:
+    """Construct rows and subtract fixed-cell blockages."""
+    die = netlist.die
+    rh = netlist.row_height
+    n_rows = max(int(np.floor(die.height / rh + 1e-9)), 1)
+    y_bottoms = die.ylo + rh * np.arange(n_rows)
+    rowmap = RowMap(
+        y_bottoms=y_bottoms,
+        row_height=rh,
+        site_width=netlist.site_width,
+        segments=[[] for _ in range(n_rows)],
+    )
+
+    # collect blocked x-intervals per row
+    blocked: list[list[tuple[float, float]]] = [[] for _ in range(n_rows)]
+    for i in np.flatnonzero(netlist.cell_fixed):
+        rect = netlist.cell_rect(i)
+        r0 = int(np.floor((rect.ylo - die.ylo) / rh + 1e-9))
+        r1 = int(np.ceil((rect.yhi - die.ylo) / rh - 1e-9)) - 1
+        for r in range(max(r0, 0), min(r1, n_rows - 1) + 1):
+            blocked[r].append((rect.xlo, rect.xhi))
+
+    for r in range(n_rows):
+        intervals = sorted(blocked[r])
+        merged: list[tuple[float, float]] = []
+        for (a, b) in intervals:
+            if merged and a <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], b))
+            else:
+                merged.append((a, b))
+        free: list[Segment] = []
+        x = die.xlo
+        for (a, b) in merged:
+            if a > x:
+                free.append(Segment(x, min(a, die.xhi)))
+            x = max(x, b)
+        if x < die.xhi:
+            free.append(Segment(x, die.xhi))
+        rowmap.segments[r] = [s for s in free if s.free_width > 0]
+    return rowmap

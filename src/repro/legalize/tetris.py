@@ -1,0 +1,137 @@
+"""Tetris-style greedy legalization with gap-reclaiming free lists.
+
+Movable standard cells are processed left-to-right; each is assigned
+the position minimizing its displacement among all remaining free
+intervals (searching rows outward from the cell's row until the row
+distance alone exceeds the best cost).  Unlike the classic
+monotone-cursor Tetris, free intervals are tracked exactly, so space
+skipped by earlier cells remains usable — on high-utilization dies
+this is the difference between a small-displacement legalization and
+a die-wide compaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.legalize.rows import RowMap
+from repro.netlist.netlist import Netlist
+from repro.utils.logging import get_logger
+
+logger = get_logger("legalize.tetris")
+
+
+@dataclass
+class TetrisAssignment:
+    """Result of Tetris: per-cell row/segment and legal coordinates."""
+
+    cell_ids: np.ndarray
+    rows: np.ndarray
+    seg_index: np.ndarray
+    x_left: np.ndarray
+
+
+class _FreeList:
+    """Sorted disjoint free intervals of one row segment."""
+
+    def __init__(self, xlo: float, xhi: float) -> None:
+        self.intervals: list[list[float]] = [[xlo, xhi]]
+
+    def best_position(
+        self, desired: float, width: float, site: float
+    ) -> float | None:
+        """Site-aligned position closest to ``desired`` that fits."""
+        best = None
+        best_cost = np.inf
+        for (a, b) in self.intervals:
+            lo = np.ceil(a / site - 1e-9) * site
+            hi = np.floor(b / site + 1e-9) * site - width
+            if hi < lo - 1e-9:
+                continue
+            x = min(max(round(desired / site) * site, lo), hi)
+            cost = abs(x - desired)
+            if cost < best_cost:
+                best, best_cost = x, cost
+        return best
+
+    def occupy(self, x: float, width: float) -> None:
+        """Remove [x, x+width) from the free space."""
+        for k, (a, b) in enumerate(self.intervals):
+            if a - 1e-9 <= x and x + width <= b + 1e-9:
+                pieces = []
+                if x - a > 1e-9:
+                    pieces.append([a, x])
+                if b - (x + width) > 1e-9:
+                    pieces.append([x + width, b])
+                self.intervals[k : k + 1] = pieces
+                return
+        raise RuntimeError("occupy() outside any free interval")
+
+
+def tetris_legalize(
+    netlist: Netlist, rowmap: RowMap, compact: bool = False
+) -> TetrisAssignment:
+    """Assign every movable single-row cell a legal position.
+
+    Mutates ``netlist.x`` / ``netlist.y``.  Raises ``RuntimeError``
+    when a cell cannot be placed anywhere (die truly overfull).
+
+    Parameters
+    ----------
+    compact:
+        Kept for API compatibility; the free-list search already
+        reclaims gaps, so compact mode only changes the tie-break
+        (place at the leftmost fitting site instead of nearest).
+    """
+    rh = rowmap.row_height
+    movable = netlist.movable & (netlist.cell_height <= rh + 1e-9)
+    ids = np.flatnonzero(movable)
+    order = ids[np.argsort(netlist.x[ids] - netlist.cell_width[ids] / 2)]
+
+    free: list[list[_FreeList]] = [
+        [_FreeList(seg.xlo, seg.xhi) for seg in rowmap.segments[r]]
+        for r in range(rowmap.n_rows)
+    ]
+
+    out_rows = np.zeros(len(order), dtype=np.int64)
+    out_seg = np.zeros(len(order), dtype=np.int64)
+    out_x = np.zeros(len(order), dtype=np.float64)
+    site = rowmap.site_width
+
+    for k, cid in enumerate(order):
+        w = netlist.cell_width[cid]
+        desired_x = netlist.x[cid] - w / 2
+        desired_y = netlist.y[cid]
+        home = rowmap.row_of(desired_y)
+        best = None  # (cost, row, seg_idx, x_left)
+
+        for dist in range(rowmap.n_rows):
+            if best is not None and dist * rh > best[0]:
+                break
+            for r in {home - dist, home + dist}:
+                if not 0 <= r < rowmap.n_rows:
+                    continue
+                y_cost = abs(rowmap.row_center_y(r) - desired_y)
+                for s_idx, flist in enumerate(free[r]):
+                    target = rowmap.segments[r][s_idx].xlo if compact else desired_x
+                    x = flist.best_position(target, w, site)
+                    if x is None:
+                        continue
+                    cost = abs(x - desired_x) + y_cost
+                    if best is None or cost < best[0]:
+                        best = (cost, r, s_idx, x)
+        if best is None:
+            raise RuntimeError(
+                f"tetris: no legal position for cell {netlist.cell_names[cid]}"
+            )
+        _, r, s_idx, x = best
+        free[r][s_idx].occupy(x, w)
+        out_rows[k] = r
+        out_seg[k] = s_idx
+        out_x[k] = x
+        netlist.x[cid] = x + w / 2
+        netlist.y[cid] = rowmap.row_center_y(r)
+
+    return TetrisAssignment(cell_ids=order, rows=out_rows, seg_index=out_seg, x_left=out_x)

@@ -1,0 +1,23 @@
+"""Circuit netlist model: cells, pins, nets as a hypergraph.
+
+The central class is :class:`Netlist`, a structure-of-arrays container
+holding cell geometry, pin offsets and net connectivity in CSR form, so
+wirelength/density/routing kernels can be fully vectorized.  The small
+``*Spec`` dataclasses exist for human-friendly construction and I/O.
+"""
+
+from repro.netlist.data import CellSpec, NetSpec, PinSpec, PGRailSpec
+from repro.netlist.netlist import Netlist
+from repro.netlist.stats import NetlistStats, compute_stats
+from repro.netlist.validate import validate_netlist
+
+__all__ = [
+    "CellSpec",
+    "NetSpec",
+    "PinSpec",
+    "PGRailSpec",
+    "Netlist",
+    "NetlistStats",
+    "compute_stats",
+    "validate_netlist",
+]

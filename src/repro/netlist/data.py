@@ -1,0 +1,77 @@
+"""Plain-data building blocks for netlist construction and I/O.
+
+These specs mirror what a Bookshelf/LEF-DEF front-end would produce:
+cells with sizes and fixed/macro attributes, pins as (cell, offset)
+pairs, nets as pin lists, and M2 power/ground rail shapes.
+Coordinates follow the library-wide convention that a cell position is
+its *center*; pin offsets are relative to that center.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.rect import Rect
+
+
+@dataclass
+class CellSpec:
+    """One cell (standard cell or macro) of a design."""
+
+    name: str
+    width: float
+    height: float
+    x: float = 0.0
+    y: float = 0.0
+    fixed: bool = False
+    macro: bool = False
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def rect(self) -> Rect:
+        """Occupied rectangle at the current center position."""
+        return Rect.from_center(self.x, self.y, self.width, self.height)
+
+
+@dataclass
+class PinSpec:
+    """A pin on a cell, referenced by nets.
+
+    ``offset_x`` / ``offset_y`` are displacements from the owning
+    cell's center.
+    """
+
+    cell: str
+    offset_x: float = 0.0
+    offset_y: float = 0.0
+
+
+@dataclass
+class NetSpec:
+    """A net as an ordered list of pins."""
+
+    name: str
+    pins: list[PinSpec] = field(default_factory=list)
+
+    @property
+    def degree(self) -> int:
+        return len(self.pins)
+
+
+@dataclass
+class PGRailSpec:
+    """An M2-layer power/ground rail segment projected onto the 2-D plane.
+
+    Rails are thin rectangles; ``horizontal`` distinguishes the running
+    direction, which matters for the 0.2x-span selection rule
+    (Sec. III-C step 1).
+    """
+
+    rect: Rect
+    horizontal: bool = True
+
+    @property
+    def length(self) -> float:
+        return self.rect.width if self.horizontal else self.rect.height

@@ -1,0 +1,237 @@
+"""Structure-of-arrays netlist used by all numerical kernels.
+
+A :class:`Netlist` owns
+
+* per-cell arrays: size, position (centers), fixed/macro flags;
+* per-pin arrays: owning cell, offset from cell center, owning net;
+* CSR indexes net->pins and cell->pins;
+* die area, standard row height / site width, and PG rails.
+
+Positions ``x``/``y`` are the mutable state a placer optimizes; all
+other arrays are immutable after construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+from repro.netlist.data import CellSpec, NetSpec, PGRailSpec
+
+
+def _csr_from_groups(group_of_item: np.ndarray, n_groups: int):
+    """Build a CSR (start, items) index mapping group -> member items.
+
+    ``group_of_item[k]`` is the group id of item ``k``.  Returns
+    ``(starts, order)`` where group ``g`` owns items
+    ``order[starts[g]:starts[g + 1]]``.
+    """
+    order = np.argsort(group_of_item, kind="stable").astype(np.int64)
+    counts = np.bincount(group_of_item, minlength=n_groups)
+    starts = np.zeros(n_groups + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    return starts, order
+
+
+@dataclass
+class Netlist:
+    """Immutable-topology, mutable-position netlist."""
+
+    name: str
+    die: Rect
+    row_height: float
+    site_width: float
+
+    cell_names: list
+    cell_width: np.ndarray
+    cell_height: np.ndarray
+    cell_fixed: np.ndarray
+    cell_macro: np.ndarray
+    x: np.ndarray
+    y: np.ndarray
+
+    pin_cell: np.ndarray
+    pin_offset_x: np.ndarray
+    pin_offset_y: np.ndarray
+    pin_net: np.ndarray
+
+    net_names: list
+    net_pin_starts: np.ndarray
+    net_pin_order: np.ndarray
+
+    cell_pin_starts: np.ndarray
+    cell_pin_order: np.ndarray
+
+    pg_rails: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_specs(
+        cls,
+        name: str,
+        die: Rect,
+        cells: list,
+        nets: list,
+        row_height: float = 1.0,
+        site_width: float = 0.25,
+        pg_rails: list | None = None,
+    ) -> "Netlist":
+        """Assemble a netlist from :class:`CellSpec` / :class:`NetSpec` lists."""
+        n_cells = len(cells)
+        cell_index = {c.name: i for i, c in enumerate(cells)}
+        if len(cell_index) != n_cells:
+            raise ValueError("duplicate cell names in design")
+
+        pin_cell: list[int] = []
+        pin_ox: list[float] = []
+        pin_oy: list[float] = []
+        pin_net: list[int] = []
+        net_names: list[str] = []
+        for net_id, net in enumerate(nets):
+            net_names.append(net.name)
+            for pin in net.pins:
+                if pin.cell not in cell_index:
+                    raise ValueError(f"net {net.name} references unknown cell {pin.cell}")
+                pin_cell.append(cell_index[pin.cell])
+                pin_ox.append(pin.offset_x)
+                pin_oy.append(pin.offset_y)
+                pin_net.append(net_id)
+
+        pin_cell_arr = np.asarray(pin_cell, dtype=np.int64)
+        pin_net_arr = np.asarray(pin_net, dtype=np.int64)
+        net_starts, net_order = _csr_from_groups(pin_net_arr, len(nets))
+        cell_starts, cell_order = _csr_from_groups(pin_cell_arr, n_cells)
+
+        return cls(
+            name=name,
+            die=die,
+            row_height=row_height,
+            site_width=site_width,
+            cell_names=[c.name for c in cells],
+            cell_width=np.asarray([c.width for c in cells], dtype=np.float64),
+            cell_height=np.asarray([c.height for c in cells], dtype=np.float64),
+            cell_fixed=np.asarray([c.fixed for c in cells], dtype=bool),
+            cell_macro=np.asarray([c.macro for c in cells], dtype=bool),
+            x=np.asarray([c.x for c in cells], dtype=np.float64),
+            y=np.asarray([c.y for c in cells], dtype=np.float64),
+            pin_cell=pin_cell_arr,
+            pin_offset_x=np.asarray(pin_ox, dtype=np.float64),
+            pin_offset_y=np.asarray(pin_oy, dtype=np.float64),
+            pin_net=pin_net_arr,
+            net_names=net_names,
+            net_pin_starts=net_starts,
+            net_pin_order=net_order,
+            cell_pin_starts=cell_starts,
+            cell_pin_order=cell_order,
+            pg_rails=list(pg_rails or []),
+        )
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        return len(self.cell_width)
+
+    @property
+    def n_nets(self) -> int:
+        return len(self.net_names)
+
+    @property
+    def n_pins(self) -> int:
+        return len(self.pin_cell)
+
+    @property
+    def movable(self) -> np.ndarray:
+        """Boolean mask of movable (non-fixed) cells."""
+        return ~self.cell_fixed
+
+    @property
+    def cell_area(self) -> np.ndarray:
+        return self.cell_width * self.cell_height
+
+    # ------------------------------------------------------------------
+    # derived geometry
+    # ------------------------------------------------------------------
+    def pin_positions(self) -> tuple[np.ndarray, np.ndarray]:
+        """Absolute pin coordinates at the current cell positions."""
+        px = self.x[self.pin_cell] + self.pin_offset_x
+        py = self.y[self.pin_cell] + self.pin_offset_y
+        return px, py
+
+    def net_pins(self, net_id: int) -> np.ndarray:
+        """Pin indices of one net."""
+        s, e = self.net_pin_starts[net_id], self.net_pin_starts[net_id + 1]
+        return self.net_pin_order[s:e]
+
+    def cell_pins(self, cell_id: int) -> np.ndarray:
+        """Pin indices on one cell."""
+        s, e = self.cell_pin_starts[cell_id], self.cell_pin_starts[cell_id + 1]
+        return self.cell_pin_order[s:e]
+
+    def net_degrees(self) -> np.ndarray:
+        """Pin count per net."""
+        return np.diff(self.net_pin_starts)
+
+    def cell_pin_counts(self) -> np.ndarray:
+        """Pin count per cell (the quantity compared to n-bar in Alg. 2)."""
+        return np.diff(self.cell_pin_starts)
+
+    def cell_rect(self, cell_id: int) -> Rect:
+        return Rect.from_center(
+            self.x[cell_id],
+            self.y[cell_id],
+            self.cell_width[cell_id],
+            self.cell_height[cell_id],
+        )
+
+    def set_positions(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Overwrite cell centers (copies, preserving array identity)."""
+        self.x[:] = x
+        self.y[:] = y
+
+    def clamp_to_die(self) -> None:
+        """Clamp movable cell centers so cells stay inside the die."""
+        mv = self.movable
+        half_w = self.cell_width * 0.5
+        half_h = self.cell_height * 0.5
+        self.x[mv] = np.clip(
+            self.x[mv],
+            self.die.xlo + half_w[mv],
+            np.maximum(self.die.xhi - half_w[mv], self.die.xlo + half_w[mv]),
+        )
+        self.y[mv] = np.clip(
+            self.y[mv],
+            self.die.ylo + half_h[mv],
+            np.maximum(self.die.yhi - half_h[mv], self.die.ylo + half_h[mv]),
+        )
+
+    def copy(self) -> "Netlist":
+        """Deep copy of positions and rails; topology arrays are shared."""
+        return Netlist(
+            name=self.name,
+            die=self.die,
+            row_height=self.row_height,
+            site_width=self.site_width,
+            cell_names=self.cell_names,
+            cell_width=self.cell_width,
+            cell_height=self.cell_height,
+            cell_fixed=self.cell_fixed,
+            cell_macro=self.cell_macro,
+            x=self.x.copy(),
+            y=self.y.copy(),
+            pin_cell=self.pin_cell,
+            pin_offset_x=self.pin_offset_x,
+            pin_offset_y=self.pin_offset_y,
+            pin_net=self.pin_net,
+            net_names=self.net_names,
+            net_pin_starts=self.net_pin_starts,
+            net_pin_order=self.net_pin_order,
+            cell_pin_starts=self.cell_pin_starts,
+            cell_pin_order=self.cell_pin_order,
+            pg_rails=list(self.pg_rails),
+        )

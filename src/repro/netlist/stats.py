@@ -1,0 +1,68 @@
+"""Summary statistics of a netlist.
+
+Besides reporting, two statistics feed the algorithms directly:
+
+* ``avg_pins_per_cell`` is the n-bar threshold of Alg. 2 (multi-pin
+  cell selection);
+* ``utilization`` drives the synthetic generator's density targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    n_cells: int
+    n_movable: int
+    n_macros: int
+    n_nets: int
+    n_pins: int
+    n_two_pin_nets: int
+    avg_pins_per_cell: float
+    avg_net_degree: float
+    max_net_degree: int
+    total_movable_area: float
+    utilization: float
+
+    def as_dict(self) -> dict:
+        return {
+            "cells": self.n_cells,
+            "movable": self.n_movable,
+            "macros": self.n_macros,
+            "nets": self.n_nets,
+            "pins": self.n_pins,
+            "two_pin_nets": self.n_two_pin_nets,
+            "avg_pins_per_cell": round(self.avg_pins_per_cell, 3),
+            "avg_net_degree": round(self.avg_net_degree, 3),
+            "max_net_degree": self.max_net_degree,
+            "utilization": round(self.utilization, 4),
+        }
+
+
+def compute_stats(netlist: Netlist) -> NetlistStats:
+    """Compute :class:`NetlistStats` for a design."""
+    degrees = netlist.net_degrees()
+    pin_counts = netlist.cell_pin_counts()
+    movable = netlist.movable
+    fixed_area = float(netlist.cell_area[~movable].sum())
+    movable_area = float(netlist.cell_area[movable].sum())
+    free_area = max(netlist.die.area - fixed_area, 1e-12)
+    return NetlistStats(
+        n_cells=netlist.n_cells,
+        n_movable=int(movable.sum()),
+        n_macros=int(netlist.cell_macro.sum()),
+        n_nets=netlist.n_nets,
+        n_pins=netlist.n_pins,
+        n_two_pin_nets=int(np.count_nonzero(degrees == 2)),
+        avg_pins_per_cell=float(pin_counts.mean()) if netlist.n_cells else 0.0,
+        avg_net_degree=float(degrees.mean()) if netlist.n_nets else 0.0,
+        max_net_degree=int(degrees.max()) if netlist.n_nets else 0,
+        total_movable_area=movable_area,
+        utilization=movable_area / free_area,
+    )

@@ -1,0 +1,106 @@
+"""Structural consistency checks for :class:`~repro.netlist.Netlist`.
+
+Run after construction, after parsing, and in integration tests; raises
+``ValueError`` with a precise message on the first inconsistency found.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+
+
+def validate_netlist(netlist: Netlist, require_inside_die: bool = False) -> None:
+    """Validate array shapes, index ranges and CSR structure.
+
+    Parameters
+    ----------
+    netlist:
+        Design to check.
+    require_inside_die:
+        When True, additionally require every cell rectangle to lie
+        within the die area (useful after legalization).
+    """
+    n_cells, n_nets, n_pins = netlist.n_cells, netlist.n_nets, netlist.n_pins
+
+    per_cell = [
+        ("cell_width", netlist.cell_width),
+        ("cell_height", netlist.cell_height),
+        ("cell_fixed", netlist.cell_fixed),
+        ("cell_macro", netlist.cell_macro),
+        ("x", netlist.x),
+        ("y", netlist.y),
+    ]
+    for label, arr in per_cell:
+        if len(arr) != n_cells:
+            raise ValueError(f"{label} has length {len(arr)}, expected {n_cells}")
+    if len(netlist.cell_names) != n_cells:
+        raise ValueError("cell_names length mismatch")
+    if len(netlist.net_names) != n_nets:
+        raise ValueError("net_names length mismatch")
+
+    per_pin = [
+        ("pin_cell", netlist.pin_cell),
+        ("pin_offset_x", netlist.pin_offset_x),
+        ("pin_offset_y", netlist.pin_offset_y),
+        ("pin_net", netlist.pin_net),
+    ]
+    for label, arr in per_pin:
+        if len(arr) != n_pins:
+            raise ValueError(f"{label} has length {len(arr)}, expected {n_pins}")
+
+    if n_pins:
+        if netlist.pin_cell.min() < 0 or netlist.pin_cell.max() >= n_cells:
+            raise ValueError("pin_cell index out of range")
+        if netlist.pin_net.min() < 0 or netlist.pin_net.max() >= n_nets:
+            raise ValueError("pin_net index out of range")
+
+    if (netlist.cell_width <= 0).any() or (netlist.cell_height <= 0).any():
+        raise ValueError("cells must have positive dimensions")
+
+    _validate_csr("net", netlist.net_pin_starts, netlist.net_pin_order, netlist.pin_net, n_nets)
+    _validate_csr(
+        "cell", netlist.cell_pin_starts, netlist.cell_pin_order, netlist.pin_cell, n_cells
+    )
+
+    if require_inside_die:
+        half_w = netlist.cell_width * 0.5
+        half_h = netlist.cell_height * 0.5
+        eps = 1e-6
+        inside = (
+            (netlist.x - half_w >= netlist.die.xlo - eps)
+            & (netlist.x + half_w <= netlist.die.xhi + eps)
+            & (netlist.y - half_h >= netlist.die.ylo - eps)
+            & (netlist.y + half_h <= netlist.die.yhi + eps)
+        )
+        if not inside.all():
+            bad = int(np.flatnonzero(~inside)[0])
+            raise ValueError(
+                f"cell {netlist.cell_names[bad]} lies outside the die area"
+            )
+
+
+def _validate_csr(
+    label: str,
+    starts: np.ndarray,
+    order: np.ndarray,
+    group_of_item: np.ndarray,
+    n_groups: int,
+) -> None:
+    if len(starts) != n_groups + 1:
+        raise ValueError(f"{label} CSR starts has wrong length")
+    if starts[0] != 0 or starts[-1] != len(order):
+        raise ValueError(f"{label} CSR starts endpoints invalid")
+    if (np.diff(starts) < 0).any():
+        raise ValueError(f"{label} CSR starts not monotone")
+    if len(order) != len(group_of_item):
+        raise ValueError(f"{label} CSR order length mismatch")
+    if len(order) and (
+        np.sort(order) != np.arange(len(order), dtype=order.dtype)
+    ).any():
+        raise ValueError(f"{label} CSR order is not a permutation")
+    for g in range(n_groups):
+        members = order[starts[g] : starts[g + 1]]
+        if len(members) and (group_of_item[members] != g).any():
+            raise ValueError(f"{label} CSR group {g} contains foreign items")

@@ -1,0 +1,50 @@
+"""Adam optimizer — an alternative first-order solver.
+
+Xplace's open-source implementation drives placement with
+gradient-descent variants; we provide Adam both as an ablation
+reference and because it is robust for the small synthetic designs in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+class AdamOptimizer:
+    """Standard Adam over a flat parameter vector."""
+
+    def __init__(
+        self,
+        x0: np.ndarray,
+        grad_fn: Callable[[np.ndarray], np.ndarray],
+        lr: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        self.u = np.array(x0, dtype=np.float64, copy=True)
+        self.grad_fn = grad_fn
+        self.lr = float(lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.m = np.zeros_like(self.u)
+        self.s = np.zeros_like(self.u)
+        self.iteration = 0
+
+    def do_step(self) -> dict:
+        g = self.grad_fn(self.u)
+        self.iteration += 1
+        self.m = self.beta1 * self.m + (1.0 - self.beta1) * g
+        self.s = self.beta2 * self.s + (1.0 - self.beta2) * g * g
+        m_hat = self.m / (1.0 - self.beta1**self.iteration)
+        s_hat = self.s / (1.0 - self.beta2**self.iteration)
+        self.u -= self.lr * m_hat / (np.sqrt(s_hat) + self.eps)
+        return {
+            "iteration": self.iteration,
+            "step": self.lr,
+            "grad_norm": float(np.linalg.norm(g)),
+        }

@@ -1,0 +1,80 @@
+"""Initial placement and filler-cell generation.
+
+The flow of Fig. 2 starts from a wirelength-driven placement whose own
+starting point is the classic analytical-placer initialisation: movable
+cells gathered near the die center (with a small jitter to break
+symmetry) so the quadratic-like early iterations can spread them under
+the density force.  Filler cells, which represent whitespace so the
+electrostatic system can reach a uniform target density, are scattered
+uniformly over the free area.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.utils.rng import make_rng
+
+
+def initial_placement(netlist: Netlist, seed: int = 0, spread: float = 0.05) -> None:
+    """Move all movable cells near the die center, in place.
+
+    Parameters
+    ----------
+    spread:
+        Standard deviation of the jitter as a fraction of die extent.
+    """
+    rng = make_rng(seed)
+    mv = netlist.movable
+    n = int(mv.sum())
+    if n == 0:
+        return
+    cx, cy = netlist.die.center
+    netlist.x[mv] = cx + rng.normal(0.0, spread * netlist.die.width, n)
+    netlist.y[mv] = cy + rng.normal(0.0, spread * netlist.die.height, n)
+    netlist.clamp_to_die()
+
+
+def scatter_fillers(
+    netlist: Netlist,
+    target_density: float,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Create filler cells filling the whitespace budget.
+
+    Total filler area is ``free_area * target_density - movable_area``
+    where free area excludes fixed cells.  Fillers get the average
+    movable standard-cell footprint and uniform random positions.
+
+    Returns ``(x, y, w, h)`` arrays (possibly empty).
+    """
+    rng = make_rng(seed + 7919)
+    mv = netlist.movable
+    std = mv & ~netlist.cell_macro
+    fixed_area = float(netlist.cell_area[~mv].sum())
+    movable_area = float(netlist.cell_area[mv].sum())
+    free_area = max(netlist.die.area - fixed_area, 0.0)
+    filler_budget = free_area * target_density - movable_area
+    if filler_budget <= 0.0:
+        z = np.zeros(0, dtype=np.float64)
+        return z, z.copy(), z.copy(), z.copy()
+
+    if std.any():
+        fw = float(np.mean(netlist.cell_width[std]))
+        fh = float(np.mean(netlist.cell_height[std]))
+    else:
+        fh = netlist.row_height
+        fw = 2.0 * netlist.site_width
+    unit = max(fw * fh, 1e-12)
+    count = int(np.floor(filler_budget / unit))
+    if count == 0:
+        z = np.zeros(0, dtype=np.float64)
+        return z, z.copy(), z.copy(), z.copy()
+
+    die = netlist.die
+    x = rng.uniform(die.xlo + fw / 2, die.xhi - fw / 2, count)
+    y = rng.uniform(die.ylo + fh / 2, die.yhi - fh / 2, count)
+    w = np.full(count, fw)
+    h = np.full(count, fh)
+    return x, y, w, h

@@ -1,0 +1,85 @@
+"""Net decomposition into two-pin segments.
+
+Multi-pin nets are broken into a rectilinear minimum spanning tree
+(Prim's algorithm over pin locations in the Manhattan metric), the
+standard topology generator for pattern routers when a Steiner-tree
+package is unavailable.  Two-pin nets map to a single segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+
+
+def mst_edges(px: np.ndarray, py: np.ndarray) -> list[tuple[int, int]]:
+    """Prim MST edge list over points in the Manhattan metric.
+
+    ``O(d^2)`` — fine for net degrees up to a few dozen.  Duplicate
+    points get zero-length edges, which routers treat as via-only.
+    """
+    d = len(px)
+    if d < 2:
+        return []
+    in_tree = np.zeros(d, dtype=bool)
+    best_dist = np.full(d, np.inf)
+    best_from = np.zeros(d, dtype=np.int64)
+    in_tree[0] = True
+    dist0 = np.abs(px - px[0]) + np.abs(py - py[0])
+    best_dist = np.where(in_tree, np.inf, dist0)
+    edges: list[tuple[int, int]] = []
+    for _ in range(d - 1):
+        nxt = int(np.argmin(best_dist))
+        edges.append((int(best_from[nxt]), nxt))
+        in_tree[nxt] = True
+        best_dist[nxt] = np.inf
+        dist_new = np.abs(px - px[nxt]) + np.abs(py - py[nxt])
+        improved = (~in_tree) & (dist_new < best_dist)
+        best_dist[improved] = dist_new[improved]
+        best_from[improved] = nxt
+    return edges
+
+
+def decompose_net(
+    netlist: Netlist,
+    net_id: int,
+    px: np.ndarray,
+    py: np.ndarray,
+    topology: str = "mst",
+) -> list[tuple[float, float, float, float]]:
+    """Two-pin segments ``(x1, y1, x2, y2)`` of one net.
+
+    ``px``/``py`` are the full pin-position arrays (precomputed once
+    per routing pass for speed).  ``topology`` selects the multi-pin
+    decomposition: ``"mst"`` (Prim, default) or ``"stt"``
+    (single-trunk Steiner tree, see :mod:`repro.route.stt`).
+    """
+    pins = netlist.net_pins(net_id)
+    if len(pins) < 2:
+        return []
+    sx = px[pins]
+    sy = py[pins]
+    if len(pins) == 2:
+        return [(float(sx[0]), float(sy[0]), float(sx[1]), float(sy[1]))]
+    if topology == "stt":
+        from repro.route.stt import single_trunk_segments
+
+        return single_trunk_segments(sx, sy)
+    if topology != "mst":
+        raise ValueError(f"unknown topology {topology!r}")
+    return [
+        (float(sx[a]), float(sy[a]), float(sx[b]), float(sy[b]))
+        for a, b in mst_edges(sx, sy)
+    ]
+
+
+def decompose_netlist(
+    netlist: Netlist, topology: str = "mst"
+) -> list[list[tuple[float, float, float, float]]]:
+    """Segments of every net, indexed by net id."""
+    px, py = netlist.pin_positions()
+    return [
+        decompose_net(netlist, e, px, py, topology)
+        for e in range(netlist.n_nets)
+    ]

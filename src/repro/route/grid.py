@@ -1,0 +1,177 @@
+"""Layered routing grid: capacities, demand accumulation, cost maps.
+
+The 3-D G-cell space of the paper (``R_r x R_c x L``) is represented by
+per-direction 2-D maps: layers of the same preferred direction are
+summed, exactly the reduction of Sec. II-B (``Dmd_{m,n} = sum_l ...``).
+A :class:`RoutingGrid` owns
+
+* static horizontal/vertical capacity maps (macro blockage subtracted);
+* mutable horizontal/vertical wire demand and via demand maps;
+* history maps for negotiated-congestion rip-up-and-reroute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.grid import Grid2D
+from repro.netlist.netlist import Netlist
+from repro.route.config import RouterConfig
+
+
+class RoutingGrid:
+    """Demand/capacity state for one routing pass."""
+
+    def __init__(
+        self,
+        grid: Grid2D,
+        config: RouterConfig | None = None,
+        netlist: Netlist | None = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        grid:
+            G-cell grid; the paper maps it one-to-one onto placement
+            bins, so callers typically pass the placer's grid.
+        netlist:
+            When given, macro blockage is carved out of the capacity.
+        """
+        self.grid = grid
+        self.config = config or RouterConfig()
+        cfg = self.config
+
+        n_h_layers = (cfg.n_layers + 1) // 2  # layers 0, 2, ... are horizontal
+        n_v_layers = cfg.n_layers // 2
+        tracks_h = grid.dy / cfg.wire_pitch  # horizontal wires stack vertically
+        tracks_v = grid.dx / cfg.wire_pitch
+        self.h_cap = np.full(grid.shape, tracks_h * n_h_layers, dtype=np.float64)
+        self.v_cap = np.full(grid.shape, tracks_v * n_v_layers, dtype=np.float64)
+
+        if netlist is not None:
+            self._apply_macro_blockage(netlist)
+            self._apply_rail_blockage(netlist)
+
+        self.h_demand = grid.zeros()
+        self.v_demand = grid.zeros()
+        self.via_demand = grid.zeros()
+        self.history = grid.zeros()
+
+    def _apply_macro_blockage(self, netlist: Netlist) -> None:
+        """Reduce capacity under macros by the blockage fraction."""
+        from repro.density.rasterize import CellRasterizer
+
+        macro_ids = np.flatnonzero(netlist.cell_macro & netlist.cell_fixed)
+        if len(macro_ids) == 0:
+            return
+        raster = CellRasterizer(
+            self.grid,
+            netlist.x[macro_ids],
+            netlist.y[macro_ids],
+            netlist.cell_width[macro_ids],
+            netlist.cell_height[macro_ids],
+            smooth=False,
+        )
+        coverage = np.clip(raster.charge_map() / self.grid.bin_area, 0.0, 1.0)
+        factor = 1.0 - self.config.macro_blockage * coverage
+        self.h_cap *= factor
+        self.v_cap *= factor
+
+    def _apply_rail_blockage(self, netlist: Netlist) -> None:
+        """Subtract the tracks PG rails occupy from routing capacity.
+
+        A rail running through a G-cell permanently consumes
+        ``thickness / pitch`` tracks of its direction over the covered
+        span — this is why cells under M2 rails are hard to reach
+        (Sec. III-C) and gives the pin-accessibility techniques their
+        physical lever.
+        """
+        if not netlist.pg_rails:
+            return
+        from repro.density.rasterize import CellRasterizer
+
+        for horizontal in (True, False):
+            rails = [r for r in netlist.pg_rails if r.horizontal == horizontal]
+            if not rails:
+                continue
+            cx = np.array([r.rect.center[0] for r in rails])
+            cy = np.array([r.rect.center[1] for r in rails])
+            w = np.array([r.rect.width for r in rails])
+            h = np.array([r.rect.height for r in rails])
+            area = CellRasterizer(self.grid, cx, cy, w, h, smooth=False).charge_map()
+            if horizontal:
+                blocked = area / (self.config.wire_pitch * self.grid.dx)
+                self.h_cap = np.maximum(self.h_cap - blocked, 0.25 * self.h_cap)
+            else:
+                blocked = area / (self.config.wire_pitch * self.grid.dy)
+                self.v_cap = np.maximum(self.v_cap - blocked, 0.25 * self.v_cap)
+
+    # ------------------------------------------------------------------
+    # demand bookkeeping
+    # ------------------------------------------------------------------
+    def reset_demand(self) -> None:
+        self.h_demand.fill(0.0)
+        self.v_demand.fill(0.0)
+        self.via_demand.fill(0.0)
+
+    def add_h_run(self, j: int, i0: int, i1: int, sign: float = 1.0) -> None:
+        """Add wire demand for a horizontal run through row ``j``.
+
+        Covers G-cells ``min(i0,i1) .. max(i0,i1)`` inclusive.
+        """
+        lo, hi = (i0, i1) if i0 <= i1 else (i1, i0)
+        self.h_demand[lo : hi + 1, j] += sign
+
+    def add_v_run(self, i: int, j0: int, j1: int, sign: float = 1.0) -> None:
+        """Add wire demand for a vertical run through column ``i``."""
+        lo, hi = (j0, j1) if j0 <= j1 else (j1, j0)
+        self.v_demand[i, lo : hi + 1] += sign
+
+    def add_via(self, i: int, j: int, amount: float = 1.0) -> None:
+        self.via_demand[i, j] += amount
+
+    # ------------------------------------------------------------------
+    # aggregate views (Sec. II-B reductions)
+    # ------------------------------------------------------------------
+    def total_demand(self) -> np.ndarray:
+        """``Dmd_{m,n}``: wire demand plus weighted via demand."""
+        return (
+            self.h_demand
+            + self.v_demand
+            + self.config.via_weight * self.via_demand
+        )
+
+    def total_capacity(self) -> np.ndarray:
+        """``Cap_{m,n}``: sum of directional capacities."""
+        return self.h_cap + self.v_cap
+
+    def utilization(self) -> np.ndarray:
+        """``rho = Dmd / Cap`` (the Poisson charge of Sec. II-B)."""
+        return self.total_demand() / np.maximum(self.total_capacity(), 1e-12)
+
+    def overflow_map(self) -> np.ndarray:
+        """Per-direction overflow summed (demand above capacity)."""
+        return np.maximum(self.h_demand - self.h_cap, 0.0) + np.maximum(
+            self.v_demand - self.v_cap, 0.0
+        )
+
+    def accumulate_history(self) -> None:
+        """Record one unit of history where any direction overflows."""
+        self.history += (self.h_demand > self.h_cap) | (self.v_demand > self.v_cap)
+
+    # ------------------------------------------------------------------
+    # path cost maps
+    # ------------------------------------------------------------------
+    def cost_maps(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-G-cell crossing costs (horizontal, vertical).
+
+        ``1 + w * util^p + history`` — convex in utilization so paths
+        spread around hotspots before they overflow.
+        """
+        cfg = self.config
+        h_util = self.h_demand / np.maximum(self.h_cap, 1e-12)
+        v_util = self.v_demand / np.maximum(self.v_cap, 1e-12)
+        hist = cfg.history_weight * self.history
+        h_cost = 1.0 + cfg.congestion_weight * h_util**cfg.congestion_exponent + hist
+        v_cost = 1.0 + cfg.congestion_weight * v_util**cfg.congestion_exponent + hist
+        return h_cost, v_cost

@@ -1,0 +1,152 @@
+"""Maze routing: congestion-aware shortest paths on the G-cell graph.
+
+Pattern routing explores only L/Z shapes; when a region is saturated,
+those 0-2-bend paths may all be overflowed while a longer detour is
+free.  This Dijkstra-based maze router finds the cheapest arbitrary
+monotone-or-not path and is used as a *fallback* for segments that the
+rip-up-and-reroute rounds cannot fix (an extension beyond the paper's
+Z-shape estimator, off by default).
+
+Graph model: nodes are (G-cell, direction) pairs so that bends can be
+charged a via cost; moving to a horizontal neighbour pays that cell's
+horizontal crossing cost, etc.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.route.patterns import RoutedPath
+
+_H, _V = 0, 1
+
+
+def maze_route(
+    h_cost: np.ndarray,
+    v_cost: np.ndarray,
+    i1: int,
+    j1: int,
+    i2: int,
+    j2: int,
+    via_cost: float = 1.0,
+    window: int = 8,
+) -> RoutedPath:
+    """Cheapest path between two G-cells with per-direction costs.
+
+    Parameters
+    ----------
+    h_cost / v_cost:
+        Per-G-cell crossing costs (same arrays pattern routing uses).
+    window:
+        Search is restricted to the segment bounding box expanded by
+        this margin, keeping the worst case bounded.
+
+    Returns
+    -------
+    RoutedPath with the same run/bend representation pattern routing
+    produces, so commitment code is shared.
+    """
+    nx, ny = h_cost.shape
+    if (i1, j1) == (i2, j2):
+        return RoutedPath(runs=[], bends=[], cost=0.0)
+
+    ilo = max(min(i1, i2) - window, 0)
+    ihi = min(max(i1, i2) + window, nx - 1)
+    jlo = max(min(j1, j2) - window, 0)
+    jhi = min(max(j1, j2) + window, ny - 1)
+    wx = ihi - ilo + 1
+    wy = jhi - jlo + 1
+
+    dist = np.full((wx, wy, 2), np.inf)
+    parent = np.full((wx, wy, 2), -1, dtype=np.int64)  # encoded predecessor
+
+    def enc(i, j, d):
+        return ((i - ilo) * wy + (j - jlo)) * 2 + d
+
+    def dec(code):
+        d = code % 2
+        rest = code // 2
+        return rest // wy + ilo, rest % wy + jlo, d
+
+    heap: list[tuple[float, int]] = []
+    for d in (_H, _V):
+        dist[i1 - ilo, j1 - jlo, d] = 0.0
+        heapq.heappush(heap, (0.0, enc(i1, j1, d)))
+
+    target_codes = {enc(i2, j2, _H), enc(i2, j2, _V)}
+    found = -1
+    while heap:
+        cost, code = heapq.heappop(heap)
+        i, j, d = dec(code)
+        if cost > dist[i - ilo, j - jlo, d]:
+            continue
+        if code in target_codes:
+            found = code
+            break
+        # neighbours: straight moves keep direction, turns pay a via
+        moves = (
+            (i - 1, j, _H, h_cost),
+            (i + 1, j, _H, h_cost),
+            (i, j - 1, _V, v_cost),
+            (i, j + 1, _V, v_cost),
+        )
+        for (ni, nj, nd, cmap) in moves:
+            if not (ilo <= ni <= ihi and jlo <= nj <= jhi):
+                continue
+            step = cmap[ni, nj] + (via_cost if nd != d else 0.0)
+            ncost = cost + step
+            if ncost < dist[ni - ilo, nj - jlo, nd]:
+                dist[ni - ilo, nj - jlo, nd] = ncost
+                parent[ni - ilo, nj - jlo, nd] = code
+                heapq.heappush(heap, (ncost, enc(ni, nj, nd)))
+
+    if found < 0:
+        # unreachable within the window (cannot happen with window>=0
+        # and positive costs, but guard anyway)
+        return RoutedPath(runs=[], bends=[], cost=float("inf"))
+
+    # trace back the cell sequence
+    cells = []
+    code = found
+    while code >= 0:
+        i, j, d = dec(code)
+        cells.append((i, j))
+        code = parent[i - ilo, j - jlo, d]
+    cells.reverse()
+    # drop consecutive duplicates ((i1,j1) appears once per direction)
+    dedup = [cells[0]]
+    for c in cells[1:]:
+        if c != dedup[-1]:
+            dedup.append(c)
+    return _cells_to_path(dedup, float(dist[i2 - ilo, j2 - jlo].min()))
+
+
+def _cells_to_path(cells: list, cost: float) -> RoutedPath:
+    """Compress a cell sequence into axis-aligned runs + bends."""
+    if len(cells) < 2:
+        return RoutedPath(runs=[], bends=[], cost=cost)
+    runs = []
+    bends = []
+    start = cells[0]
+    prev = cells[0]
+    direction = None  # 'h' or 'v'
+    for cur in cells[1:]:
+        step_dir = "h" if cur[1] == prev[1] else "v"
+        if direction is None:
+            direction = step_dir
+        elif step_dir != direction:
+            runs.append(_run(direction, start, prev))
+            bends.append(prev)
+            start = prev
+            direction = step_dir
+        prev = cur
+    runs.append(_run(direction, start, prev))
+    return RoutedPath(runs=runs, bends=bends, cost=cost)
+
+
+def _run(direction: str, a: tuple, b: tuple):
+    if direction == "h":
+        return ("h", a[1], a[0], b[0])
+    return ("v", a[0], a[1], b[1])

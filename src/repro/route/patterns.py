@@ -1,0 +1,168 @@
+"""Congestion-aware L/Z-shape pattern routing for one two-pin segment.
+
+This is the route family of the "Z-shape routing algorithm" [18] the
+paper uses for congestion estimation: each segment is realised as a
+straight run, an L (one bend) or a Z (two bends), whichever has the
+lowest congestion cost.  Candidate bend positions are evaluated in
+closed form with prefix sums of the cost maps, so choosing among
+``O(nx + ny)`` candidates costs a handful of vector operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class RoutedPath:
+    """A committed route: axis-aligned runs plus bend locations.
+
+    ``runs`` entries are ``('h', j, i0, i1)`` or ``('v', i, j0, j1)``
+    with inclusive G-cell index ranges; ``bends`` are the G-cells where
+    the direction changes (each costs a via).
+    """
+
+    runs: list
+    bends: list
+    cost: float
+
+    @property
+    def n_bends(self) -> int:
+        return len(self.bends)
+
+    def wire_cells(self) -> int:
+        """Total G-cells crossed by wire runs (counting overlaps)."""
+        total = 0
+        for run in self.runs:
+            _, _, a, b = run
+            total += abs(b - a) + 1
+        return total
+
+    def wirelength(self, dx: float, dy: float) -> float:
+        """Physical length: run spans scaled by the G-cell pitch."""
+        length = 0.0
+        for kind, _, a, b in self.runs:
+            length += abs(b - a) * (dx if kind == "h" else dy)
+        return length
+
+    def covered_cells(self) -> list:
+        """All (i, j) G-cells on the path."""
+        cells = []
+        for kind, fixed, a, b in self.runs:
+            lo, hi = (a, b) if a <= b else (b, a)
+            if kind == "h":
+                cells.extend((i, fixed) for i in range(lo, hi + 1))
+            else:
+                cells.extend((fixed, j) for j in range(lo, hi + 1))
+        return cells
+
+
+class PatternRouter:
+    """Pattern route segments against a pair of cost maps.
+
+    Rebuild (or :meth:`refresh`) whenever the cost maps change; routing
+    itself never mutates them.
+    """
+
+    def __init__(
+        self,
+        h_cost: np.ndarray,
+        v_cost: np.ndarray,
+        via_cost: float = 1.0,
+        z_samples: int = 16,
+        detour_margin: int = 2,
+    ) -> None:
+        self.via_cost = via_cost
+        self.z_samples = max(z_samples, 2)
+        self.detour_margin = detour_margin
+        self.refresh(h_cost, v_cost)
+
+    def refresh(self, h_cost: np.ndarray, v_cost: np.ndarray) -> None:
+        """Update prefix sums after the cost maps changed."""
+        nx, ny = h_cost.shape
+        self.nx, self.ny = nx, ny
+        self._hpre = np.zeros((nx + 1, ny))
+        np.cumsum(h_cost, axis=0, out=self._hpre[1:])
+        self._vpre = np.zeros((nx, ny + 1))
+        np.cumsum(v_cost, axis=1, out=self._vpre[:, 1:])
+
+    # ------------------------------------------------------------------
+    def _h_run_cost(self, j, i0, i1):
+        lo = np.minimum(i0, i1)
+        hi = np.maximum(i0, i1)
+        return self._hpre[hi + 1, j] - self._hpre[lo, j]
+
+    def _v_run_cost(self, i, j0, j1):
+        lo = np.minimum(j0, j1)
+        hi = np.maximum(j0, j1)
+        return self._vpre[i, hi + 1] - self._vpre[i, lo]
+
+    def _candidates(self, a: int, b: int, limit: int) -> np.ndarray:
+        lo = max(min(a, b) - self.detour_margin, 0)
+        hi = min(max(a, b) + self.detour_margin, limit - 1)
+        span = hi - lo + 1
+        if span <= self.z_samples:
+            return np.arange(lo, hi + 1)
+        return np.unique(np.linspace(lo, hi, self.z_samples).round().astype(np.int64))
+
+    # ------------------------------------------------------------------
+    def route(self, i1: int, j1: int, i2: int, j2: int) -> RoutedPath:
+        """Best L/Z path between two G-cells."""
+        if i1 == i2 and j1 == j2:
+            return RoutedPath(runs=[], bends=[], cost=0.0)
+        if j1 == j2:
+            cost = float(self._h_run_cost(j1, i1, i2))
+            return RoutedPath(runs=[("h", j1, i1, i2)], bends=[], cost=cost)
+        if i1 == i2:
+            cost = float(self._v_run_cost(i1, j1, j2))
+            return RoutedPath(runs=[("v", i1, j1, j2)], bends=[], cost=cost)
+
+        best = self._best_hvh(i1, j1, i2, j2)
+        other = self._best_vhv(i1, j1, i2, j2)
+        return best if best.cost <= other.cost else other
+
+    def _best_hvh(self, i1, j1, i2, j2) -> RoutedPath:
+        """Horizontal - vertical - horizontal, bend column ``m``."""
+        ms = self._candidates(i1, i2, self.nx)
+        c = (
+            self._h_run_cost(j1, np.full_like(ms, i1), ms)
+            + self._v_run_cost(ms, j1, j2)
+            + self._h_run_cost(j2, ms, np.full_like(ms, i2))
+            + self.via_cost * ((ms != i1).astype(float) + (ms != i2))
+        )
+        k = int(np.argmin(c))
+        m = int(ms[k])
+        runs = []
+        bends = []
+        if m != i1:
+            runs.append(("h", j1, i1, m))
+            bends.append((m, j1))
+        runs.append(("v", m, j1, j2))
+        if m != i2:
+            runs.append(("h", j2, m, i2))
+            bends.append((m, j2))
+        return RoutedPath(runs=runs, bends=bends, cost=float(c[k]))
+
+    def _best_vhv(self, i1, j1, i2, j2) -> RoutedPath:
+        """Vertical - horizontal - vertical, bend row ``r``."""
+        rs = self._candidates(j1, j2, self.ny)
+        c = (
+            self._v_run_cost(np.full_like(rs, i1), j1, rs)
+            + self._h_run_cost(rs, i1, i2)
+            + self._v_run_cost(np.full_like(rs, i2), rs, np.full_like(rs, j2))
+            + self.via_cost * ((rs != j1).astype(float) + (rs != j2))
+        )
+        k = int(np.argmin(c))
+        r = int(rs[k])
+        runs = []
+        bends = []
+        if r != j1:
+            runs.append(("v", i1, j1, r))
+            bends.append((i1, r))
+        runs.append(("h", r, i1, i2))
+        if r != j2:
+            runs.append(("v", i2, r, j2))
+            bends.append((i2, r))
+        return RoutedPath(runs=runs, bends=bends, cost=float(c[k]))

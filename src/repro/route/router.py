@@ -1,0 +1,227 @@
+"""Global router: initial pattern routing + rip-up-and-reroute.
+
+Produces the demand, capacity and congestion maps the placement
+framework consumes each routability iteration (the "GPU-accelerated
+3D Z-shape routing" box of Fig. 2, on CPU).  The router is stateless
+across calls: every :meth:`GlobalRouter.route` starts from the current
+cell positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.grid import Grid2D
+from repro.netlist.netlist import Netlist
+from repro.route.config import RouterConfig
+from repro.route.congestion import CongestionData, congestion_from_demand
+from repro.route.decompose import decompose_net
+from repro.route.grid import RoutingGrid
+from repro.route.patterns import PatternRouter, RoutedPath
+from repro.utils.logging import get_logger
+
+logger = get_logger("route.router")
+
+
+@dataclass
+class _Segment:
+    net_id: int
+    i1: int
+    j1: int
+    i2: int
+    j2: int
+    path: RoutedPath | None = None
+
+    @property
+    def bbox_span(self) -> int:
+        return abs(self.i2 - self.i1) + abs(self.j2 - self.j1)
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of one global routing pass."""
+
+    grid: RoutingGrid
+    congestion: CongestionData
+    wirelength: float
+    n_vias: float
+    total_overflow: float
+    n_segments: int
+
+    @property
+    def congestion_map(self) -> np.ndarray:
+        """Eq. (3) map ``max(Dmd/Cap - 1, 0)``."""
+        return self.congestion.congestion
+
+    @property
+    def utilization_map(self) -> np.ndarray:
+        """``rho = Dmd / Cap`` (Poisson charge, Sec. II-B)."""
+        return self.congestion.utilization
+
+
+class GlobalRouter:
+    """Route a netlist over a G-cell grid and report congestion."""
+
+    def __init__(self, grid: Grid2D, config: RouterConfig | None = None) -> None:
+        self.grid = grid
+        self.config = config or RouterConfig()
+
+    # ------------------------------------------------------------------
+    def route(self, netlist: Netlist) -> RoutingResult:
+        """Full routing pass at the current cell positions."""
+        cfg = self.config
+        rgrid = RoutingGrid(self.grid, cfg, netlist)
+        segments = self._collect_segments(netlist)
+        self._add_pin_via_demand(rgrid, netlist)
+
+        # short segments first: they have no routing freedom anyway and
+        # longer segments then see realistic congestion
+        segments.sort(key=lambda s: s.bbox_span)
+        self._route_all(rgrid, segments, initial=True)
+
+        for round_id in range(cfg.rrr_rounds):
+            rgrid.accumulate_history()
+            victims = self._overflow_victims(rgrid, segments)
+            if not victims:
+                break
+            logger.info("RRR round %d: rerouting %d segments", round_id, len(victims))
+            for seg in victims:
+                self._uncommit(rgrid, seg)
+            self._route_all(rgrid, victims, initial=False)
+
+        if cfg.maze_fallback:
+            self._maze_cleanup(rgrid, segments)
+
+        return self._result(rgrid, segments)
+
+    def _maze_cleanup(self, rgrid: RoutingGrid, segments: list) -> None:
+        """Detour-route segments still crossing overflowed G-cells."""
+        from repro.route.maze import maze_route
+
+        victims = self._overflow_victims(rgrid, segments)
+        if not victims:
+            return
+        logger.info("maze fallback: rerouting %d segments", len(victims))
+        for seg in victims:
+            old_path = seg.path
+            before = float(rgrid.overflow_map().sum())
+            self._uncommit(rgrid, seg)
+            # fresh costs per segment: maze paths gladly share a cheap
+            # corridor and would re-create the overflow on stale maps
+            h_cost, v_cost = rgrid.cost_maps()
+            seg.path = maze_route(
+                h_cost,
+                v_cost,
+                seg.i1,
+                seg.j1,
+                seg.i2,
+                seg.j2,
+                via_cost=1.0,
+                window=self.config.maze_window,
+            )
+            self._commit(rgrid, seg)
+            after = float(rgrid.overflow_map().sum())
+            if after >= before - 1e-9:
+                # admission control: a detour that does not reduce the
+                # total overflow only burns wirelength — keep the old
+                # path (in a saturated region every cell is expensive
+                # and Dijkstra wanders without actually helping)
+                self._commit(rgrid, seg, sign=-1.0)
+                seg.path = old_path
+                self._commit(rgrid, seg)
+
+    # ------------------------------------------------------------------
+    def _collect_segments(self, netlist: Netlist) -> list:
+        px, py = netlist.pin_positions()
+        segments: list[_Segment] = []
+        for e in range(netlist.n_nets):
+            for (x1, y1, x2, y2) in decompose_net(
+                netlist, e, px, py, self.config.topology
+            ):
+                i1, j1 = self.grid.index_of(x1, y1)
+                i2, j2 = self.grid.index_of(x2, y2)
+                segments.append(_Segment(e, i1, j1, i2, j2))
+        return segments
+
+    def _add_pin_via_demand(self, rgrid: RoutingGrid, netlist: Netlist) -> None:
+        if self.config.pin_via_demand <= 0 or netlist.n_pins == 0:
+            return
+        px, py = netlist.pin_positions()
+        i, j = self.grid.index_of(px, py)
+        flat = np.bincount(
+            i * self.grid.ny + j,
+            minlength=self.grid.nx * self.grid.ny,
+        ).astype(np.float64)
+        rgrid.via_demand += self.config.pin_via_demand * flat.reshape(self.grid.shape)
+
+    def _route_all(self, rgrid: RoutingGrid, segments: list, initial: bool) -> None:
+        cfg = self.config
+        h_cost, v_cost = rgrid.cost_maps()
+        router = PatternRouter(
+            h_cost, v_cost, via_cost=1.0, z_samples=cfg.z_samples
+        )
+        for k, seg in enumerate(segments):
+            if k and k % cfg.cost_refresh_interval == 0:
+                router.refresh(*rgrid.cost_maps())
+            seg.path = router.route(seg.i1, seg.j1, seg.i2, seg.j2)
+            self._commit(rgrid, seg)
+
+    def _commit(self, rgrid: RoutingGrid, seg: _Segment, sign: float = 1.0) -> None:
+        path = seg.path
+        if path is None:
+            return
+        for kind, fixed, a, b in path.runs:
+            if kind == "h":
+                rgrid.add_h_run(fixed, a, b, sign)
+            else:
+                rgrid.add_v_run(fixed, a, b, sign)
+        for (i, j) in path.bends:
+            rgrid.add_via(i, j, sign)
+
+    def _uncommit(self, rgrid: RoutingGrid, seg: _Segment) -> None:
+        self._commit(rgrid, seg, sign=-1.0)
+        seg.path = None
+
+    def _overflow_victims(self, rgrid: RoutingGrid, segments: list) -> list:
+        """Segments whose path crosses an overflowed G-cell."""
+        h_over = rgrid.h_demand > rgrid.h_cap
+        v_over = rgrid.v_demand > rgrid.v_cap
+        if not (h_over.any() or v_over.any()):
+            return []
+        victims = []
+        for seg in segments:
+            path = seg.path
+            if path is None:
+                continue
+            hit = False
+            for kind, fixed, a, b in path.runs:
+                lo, hi = (a, b) if a <= b else (b, a)
+                if kind == "h":
+                    if h_over[lo : hi + 1, fixed].any():
+                        hit = True
+                        break
+                else:
+                    if v_over[fixed, lo : hi + 1].any():
+                        hit = True
+                        break
+            if hit:
+                victims.append(seg)
+        return victims
+
+    def _result(self, rgrid: RoutingGrid, segments: list) -> RoutingResult:
+        wirelength = 0.0
+        n_vias = float(rgrid.via_demand.sum())
+        for seg in segments:
+            if seg.path is not None:
+                wirelength += seg.path.wirelength(self.grid.dx, self.grid.dy)
+        congestion = congestion_from_demand(rgrid)
+        return RoutingResult(
+            grid=rgrid,
+            congestion=congestion,
+            wirelength=wirelength,
+            n_vias=n_vias,
+            total_overflow=float(rgrid.overflow_map().sum()),
+            n_segments=len(segments),
+        )

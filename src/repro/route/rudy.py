@@ -1,0 +1,97 @@
+"""RUDY routing-demand estimation [10] (baseline congestion estimator).
+
+RUDY spreads each net's expected wirelength uniformly over its bounding
+box: a net with box ``w x h`` contributes density ``(w + h) / (w * h)``
+to every point of the box.  The paper criticises exactly this
+uniform-over-BB treatment (Sec. I, Fig. 1b); we provide it both as a
+comparison baseline and for tests contrasting it with the router-based
+map.
+
+Implemented with the integral-image trick: each net adds +/-1 weighted
+corners, a double cumulative sum turns the corners into filled boxes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.grid import Grid2D
+from repro.netlist.netlist import Netlist
+
+
+def rudy_map(netlist: Netlist, grid: Grid2D) -> np.ndarray:
+    """RUDY demand-density map on ``grid``.
+
+    Returns a map in demand-per-area units (same shape as the grid);
+    divide by per-area capacity for a utilization estimate.
+    """
+    px, py = netlist.pin_positions()
+    order = netlist.net_pin_order
+    starts = netlist.net_pin_starts[:-1]
+    degrees = netlist.net_degrees()
+    if netlist.n_nets == 0 or len(order) == 0:
+        return grid.zeros()
+
+    ox = px[order]
+    oy = py[order]
+    safe = np.minimum(starts, len(order) - 1)
+    xmax = np.maximum.reduceat(ox, safe)
+    xmin = np.minimum.reduceat(ox, safe)
+    ymax = np.maximum.reduceat(oy, safe)
+    ymin = np.minimum.reduceat(oy, safe)
+    valid = degrees >= 2
+
+    # clip boxes to the die and give degenerate boxes one G-cell extent
+    r = grid.region
+    xmin = np.clip(xmin, r.xlo, r.xhi)
+    xmax = np.clip(xmax, r.xlo, r.xhi)
+    ymin = np.clip(ymin, r.ylo, r.yhi)
+    ymax = np.clip(ymax, r.ylo, r.yhi)
+    w = np.maximum(xmax - xmin, grid.dx)
+    h = np.maximum(ymax - ymin, grid.dy)
+    density = (w + h) / (w * h)
+
+    i0, j0 = grid.index_of(xmin, ymin)
+    i1, j1 = grid.index_of(xmax, ymax)
+    i0, j0 = np.atleast_1d(i0), np.atleast_1d(j0)
+    i1, j1 = np.atleast_1d(i1), np.atleast_1d(j1)
+
+    nx, ny = grid.nx, grid.ny
+    corners = np.zeros((nx + 1, ny + 1))
+    d = np.where(valid, density, 0.0)
+    np.add.at(corners, (i0, j0), d)
+    np.add.at(corners, (i1 + 1, j1 + 1), d)
+    np.add.at(corners, (i0, j1 + 1), -d)
+    np.add.at(corners, (i1 + 1, j0), -d)
+    filled = corners.cumsum(axis=0).cumsum(axis=1)[:nx, :ny]
+    return filled
+
+
+def pin_rudy_map(netlist: Netlist, grid: Grid2D) -> np.ndarray:
+    """PinRUDY [Liu et al., DATE'21]: pin-weighted demand density.
+
+    Each pin deposits its net's RUDY density at the pin's own G-cell —
+    a sharper feature than plain RUDY for predicting pin-access-driven
+    congestion, used by the learning-based estimator the paper cites.
+    """
+    if netlist.n_nets == 0 or netlist.n_pins == 0:
+        return grid.zeros()
+    px, py = netlist.pin_positions()
+    order = netlist.net_pin_order
+    starts = netlist.net_pin_starts[:-1]
+    degrees = netlist.net_degrees()
+    ox = px[order]
+    oy = py[order]
+    safe = np.minimum(starts, len(order) - 1)
+    w = np.maximum.reduceat(ox, safe) - np.minimum.reduceat(ox, safe)
+    h = np.maximum.reduceat(oy, safe) - np.minimum.reduceat(oy, safe)
+    w = np.maximum(w, grid.dx)
+    h = np.maximum(h, grid.dy)
+    density = np.where(degrees >= 2, (w + h) / (w * h), 0.0)
+
+    i, j = grid.index_of(px, py)
+    weights = density[netlist.pin_net]
+    flat = np.bincount(
+        i * grid.ny + j, weights=weights, minlength=grid.nx * grid.ny
+    )
+    return flat.reshape(grid.nx, grid.ny)

@@ -1,0 +1,22 @@
+"""Synthetic ISPD-2015-like benchmark designs.
+
+The ISPD 2015 contest LEF/DEF files are not redistributable here, so
+:mod:`repro.synth.generator` produces deterministic synthetic designs
+with the same *structural* features the paper's techniques react to:
+clustered standard cells (local congestion), long inter-cluster net
+bundles (global congestion), fixed macros that pinch routing corridors,
+peripheral I/O anchors, and M2 PG rails.  :mod:`repro.synth.suite`
+instantiates the 20 design names of Table I at laptop scale.
+"""
+
+from repro.synth.generator import SynthConfig, generate_design
+from repro.synth.suite import SUITE, suite_design, suite_names, toy_design
+
+__all__ = [
+    "SynthConfig",
+    "generate_design",
+    "SUITE",
+    "suite_design",
+    "suite_names",
+    "toy_design",
+]

@@ -1,0 +1,337 @@
+"""Deterministic synthetic design generator.
+
+Produces netlists whose routing behaviour mimics the ISPD 2015 suite at
+reduced scale.  The generator controls the two congestion mechanisms
+the paper distinguishes (Fig. 1):
+
+* **local congestion** — cells are assigned to latent *clusters*; nets
+  drawn mostly within a cluster pull those cells together during
+  placement, creating over-dense placement regions;
+* **global congestion** — a fraction of nets ("bundles") connect cells
+  of two distant clusters, so many wires traverse the G-cells between
+  them even where few cells sit.
+
+All randomness flows from one :class:`numpy.random.Generator`, seeded
+per design name, so every design is bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+from repro.netlist.data import CellSpec, NetSpec, PGRailSpec, PinSpec
+from repro.netlist.netlist import Netlist
+from repro.utils.rng import make_rng, seed_from_name
+
+
+@dataclass
+class SynthConfig:
+    """Parameters of one synthetic design."""
+
+    name: str = "synthetic"
+    n_cells: int = 1000
+    n_macros: int = 2
+    n_io: int = 24
+    utilization: float = 0.65
+    aspect: float = 1.0
+    n_clusters: int = 8
+    cluster_affinity: float = 0.8
+    bundle_fraction: float = 0.06
+    bundle_width: int = 12
+    nets_per_cell: float = 1.1
+    row_height: float = 1.0
+    site_width: float = 0.25
+    macro_area_fraction: float = 0.12
+    pg_rail_pitch_rows: int = 2
+    pg_vertical_pitch: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_cells < 4:
+            raise ValueError("need at least 4 cells")
+        if not 0.05 <= self.utilization <= 0.98:
+            raise ValueError("utilization out of range")
+        if not 0.0 <= self.cluster_affinity <= 1.0:
+            raise ValueError("cluster_affinity must be in [0, 1]")
+
+
+_NET_DEGREE_CHOICES = np.array([2, 3, 4, 5, 6, 8, 12])
+_NET_DEGREE_PROBS = np.array([0.55, 0.18, 0.10, 0.07, 0.05, 0.03, 0.02])
+
+
+def generate_design(config: SynthConfig) -> Netlist:
+    """Generate a full synthetic design from a configuration."""
+    rng = make_rng(seed_from_name(config.name, config.seed))
+
+    cells, die = _make_cells_and_die(config, rng)
+    macros = _place_macros(config, die, rng, cells)
+    ios = _make_io_cells(config, die, rng)
+    all_cells = cells + macros + ios
+
+    latent, cluster_of, centers = _latent_positions(config, die, rng, macros, ios)
+    nets = _make_nets(config, rng, cells, macros, ios, cluster_of, centers)
+    rails = _make_pg_rails(config, die)
+
+    netlist = Netlist.from_specs(
+        name=config.name,
+        die=die,
+        cells=all_cells,
+        nets=nets,
+        row_height=config.row_height,
+        site_width=config.site_width,
+        pg_rails=rails,
+    )
+    # start movable cells at their latent positions: a plausible
+    # "already clustered" state for direct routing studies; placers
+    # re-initialise anyway.
+    for i, cell in enumerate(all_cells):
+        if not cell.fixed:
+            netlist.x[i], netlist.y[i] = latent[i]
+    netlist.clamp_to_die()
+    return netlist
+
+
+# ----------------------------------------------------------------------
+# pieces
+# ----------------------------------------------------------------------
+def _make_cells_and_die(config: SynthConfig, rng: np.random.Generator):
+    widths = config.site_width * rng.integers(2, 9, config.n_cells)
+    total_std_area = float((widths * config.row_height).sum())
+    macro_area = total_std_area * config.macro_area_fraction / max(
+        1.0 - config.macro_area_fraction, 0.02
+    )
+    core_area = (total_std_area + macro_area) / config.utilization
+    width = math.sqrt(core_area * config.aspect)
+    height = core_area / width
+    # snap height to whole rows
+    n_rows = max(int(round(height / config.row_height)), 4)
+    height = n_rows * config.row_height
+    width = core_area / height
+    die = Rect(0.0, 0.0, width, height)
+
+    cells = [
+        CellSpec(
+            name=f"c{i}",
+            width=float(widths[i]),
+            height=config.row_height,
+        )
+        for i in range(config.n_cells)
+    ]
+    return cells, die
+
+
+def _place_macros(
+    config: SynthConfig,
+    die: Rect,
+    rng: np.random.Generator,
+    cells: list,
+) -> list:
+    """Fixed macro blocks; placed greedily without overlap."""
+    if config.n_macros <= 0:
+        return []
+    total_std_area = sum(c.area for c in cells)
+    macro_area_total = total_std_area * config.macro_area_fraction / max(
+        1.0 - config.macro_area_fraction, 0.02
+    )
+    per_macro = macro_area_total / config.n_macros
+    macros: list[CellSpec] = []
+    placed: list[Rect] = []
+    for k in range(config.n_macros):
+        aspect = rng.uniform(0.6, 1.6)
+        w = min(math.sqrt(per_macro * aspect), 0.45 * die.width)
+        h = min(per_macro / w, 0.45 * die.height)
+        w = max(w, 2 * config.row_height)
+        h = max(h, 2 * config.row_height)
+        # snap macro height to rows so rails cut cleanly around them
+        h = max(round(h / config.row_height), 2) * config.row_height
+        margin_x = 0.03 * die.width
+        margin_y = 0.03 * die.height
+        for _ in range(200):
+            cx = rng.uniform(die.xlo + w / 2 + margin_x, die.xhi - w / 2 - margin_x)
+            cy = rng.uniform(die.ylo + h / 2 + margin_y, die.yhi - h / 2 - margin_y)
+            rect = Rect.from_center(cx, cy, w, h)
+            if all(not rect.expanded(0.05).intersects(p) for p in placed):
+                placed.append(rect)
+                macros.append(
+                    CellSpec(
+                        name=f"m{k}",
+                        width=w,
+                        height=h,
+                        x=cx,
+                        y=cy,
+                        fixed=True,
+                        macro=True,
+                    )
+                )
+                break
+    return macros
+
+
+def _make_io_cells(config: SynthConfig, die: Rect, rng: np.random.Generator) -> list:
+    """Tiny fixed anchor cells on the die periphery."""
+    ios: list[CellSpec] = []
+    per_side = max((config.n_io + 3) // 4, 1)
+    for k in range(config.n_io):
+        side = k % 4
+        # deterministic spread along each side so pads never overlap
+        t = (k // 4 + 0.5) / per_side
+        size = config.site_width
+        if side == 0:
+            x, y = die.xlo + size / 2, die.ylo + t * die.height
+        elif side == 1:
+            x, y = die.xhi - size / 2, die.ylo + t * die.height
+        elif side == 2:
+            x, y = die.xlo + t * die.width, die.ylo + size / 2
+        else:
+            x, y = die.xlo + t * die.width, die.yhi - size / 2
+        ios.append(
+            CellSpec(name=f"io{k}", width=size, height=size, x=x, y=y, fixed=True)
+        )
+    return ios
+
+
+def _latent_positions(
+    config: SynthConfig,
+    die: Rect,
+    rng: np.random.Generator,
+    macros: list,
+    ios: list,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Latent geometric home of every cell, used to draw local nets.
+
+    Returns ``(latent, cluster_of, centers)``: positions for all cells
+    (std cells, then macros, then I/O), the cluster id of each standard
+    cell, and the cluster center coordinates.
+    """
+    centers = np.column_stack(
+        [
+            rng.uniform(die.xlo + 0.1 * die.width, die.xhi - 0.1 * die.width, config.n_clusters),
+            rng.uniform(die.ylo + 0.1 * die.height, die.yhi - 0.1 * die.height, config.n_clusters),
+        ]
+    )
+    sigma = 0.08 * min(die.width, die.height)
+    cluster_of = rng.integers(0, config.n_clusters, config.n_cells)
+    latent = centers[cluster_of] + rng.normal(0.0, sigma, (config.n_cells, 2))
+    latent[:, 0] = np.clip(latent[:, 0], die.xlo, die.xhi)
+    latent[:, 1] = np.clip(latent[:, 1], die.ylo, die.yhi)
+
+    fixed_pos = [(m.x, m.y) for m in macros] + [(p.x, p.y) for p in ios]
+    if fixed_pos:
+        latent = np.vstack([latent, np.array(fixed_pos)])
+    return latent, cluster_of, centers
+
+
+def _sample_degree(rng: np.random.Generator) -> int:
+    return int(rng.choice(_NET_DEGREE_CHOICES, p=_NET_DEGREE_PROBS))
+
+
+def _pin_offsets(rng: np.random.Generator, cell: CellSpec) -> tuple[float, float]:
+    """A pin location inside the cell, snapped to a small internal grid."""
+    ox = rng.uniform(-0.4, 0.4) * cell.width
+    oy = rng.uniform(-0.4, 0.4) * cell.height
+    return float(ox), float(oy)
+
+
+def _make_nets(
+    config: SynthConfig,
+    rng: np.random.Generator,
+    cells: list,
+    macros: list,
+    ios: list,
+    cluster_of: np.ndarray,
+    centers: np.ndarray,
+) -> list:
+    n_cells = len(cells)
+    members: list[np.ndarray] = [
+        np.flatnonzero(cluster_of == c) for c in range(config.n_clusters)
+    ]
+    members = [m if len(m) else np.arange(n_cells) for m in members]
+    all_specs = cells + macros + ios
+    n_regular = max(int(config.nets_per_cell * n_cells), 1)
+    nets: list[NetSpec] = []
+
+    def pin_of(idx: int) -> PinSpec:
+        spec = all_specs[idx]
+        ox, oy = _pin_offsets(rng, spec)
+        return PinSpec(cell=spec.name, offset_x=ox, offset_y=oy)
+
+    # regular nets: mostly intra-cluster
+    for k in range(n_regular):
+        degree = _sample_degree(rng)
+        seed_cell = int(rng.integers(0, n_cells))
+        home = members[cluster_of[seed_cell]]
+        chosen = {seed_cell}
+        while len(chosen) < degree:
+            if rng.random() < config.cluster_affinity:
+                cand = int(home[rng.integers(0, len(home))])
+            else:
+                cand = int(rng.integers(0, n_cells))
+            chosen.add(cand)
+        nets.append(NetSpec(name=f"n{k}", pins=[pin_of(i) for i in sorted(chosen)]))
+
+    # bundles: groups of 2-pin nets between two distant clusters -> the
+    # "many nets traverse a G-cell" global congestion of Fig. 1(a)
+    n_bundles = max(int(config.bundle_fraction * n_regular / max(config.bundle_width, 1)), 1)
+    for b in range(n_bundles):
+        ca = b % config.n_clusters
+        dists = np.linalg.norm(centers - centers[ca], axis=1)
+        cb = int(np.argmax(dists))
+        if ca == cb:
+            cb = (ca + 1) % config.n_clusters
+        ma, mb = members[ca], members[cb]
+        for w in range(config.bundle_width):
+            ia = int(ma[rng.integers(0, len(ma))])
+            ib = int(mb[rng.integers(0, len(mb))])
+            if ia == ib:
+                continue
+            nets.append(
+                NetSpec(name=f"bundle{b}_{w}", pins=[pin_of(ia), pin_of(ib)])
+            )
+
+    # I/O nets: each pad connects into a random cluster
+    for k, io in enumerate(ios):
+        home = members[int(rng.integers(0, config.n_clusters))]
+        degree = int(rng.integers(2, 5))
+        chosen = set()
+        while len(chosen) < degree - 1:
+            chosen.add(int(home[rng.integers(0, len(home))]))
+        pins = [pin_of(n_cells + len(macros) + k)] + [pin_of(i) for i in sorted(chosen)]
+        nets.append(NetSpec(name=f"ionet{k}", pins=pins))
+
+    return nets
+
+
+def _make_pg_rails(config: SynthConfig, die: Rect) -> list:
+    """Horizontal M2 PG rails every ``pg_rail_pitch_rows`` rows,
+
+    plus optional vertical power straps.
+    """
+    rails: list[PGRailSpec] = []
+    thickness = 0.1 * config.row_height
+    n_rows = int(round(die.height / config.row_height))
+    for r in range(0, n_rows + 1, max(config.pg_rail_pitch_rows, 1)):
+        yc = die.ylo + r * config.row_height
+        ylo = max(yc - thickness / 2, die.ylo)
+        yhi = min(yc + thickness / 2, die.yhi)
+        if yhi <= ylo:
+            continue
+        rails.append(
+            PGRailSpec(rect=Rect(die.xlo, ylo, die.xhi, yhi), horizontal=True)
+        )
+    if config.pg_vertical_pitch > 0:
+        x = die.xlo + config.pg_vertical_pitch
+        while x < die.xhi:
+            rails.append(
+                PGRailSpec(
+                    rect=Rect(
+                        x - thickness / 2, die.ylo, x + thickness / 2, die.yhi
+                    ),
+                    horizontal=False,
+                )
+            )
+            x += config.pg_vertical_pitch
+    return rails

@@ -1,0 +1,7 @@
+"""Shared utilities: logging, seeded RNG helpers, timers."""
+
+from repro.utils.logging import get_logger
+from repro.utils.rng import make_rng
+from repro.utils.timer import Timer
+
+__all__ = ["get_logger", "make_rng", "Timer"]

@@ -1,0 +1,46 @@
+"""Package-wide logging configuration.
+
+All modules obtain their logger through :func:`get_logger` so that the
+whole library shares one consistent format and can be silenced or made
+verbose from a single place.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_configured = False
+
+
+def _configure_root() -> None:
+    global _configured
+    if _configured:
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    root.propagate = False
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``.
+
+    Parameters
+    ----------
+    name:
+        Dotted module name; a ``repro.`` prefix is added when missing.
+    """
+    _configure_root()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def set_verbosity(level: int) -> None:
+    """Set the log level for the whole ``repro`` package."""
+    _configure_root()
+    logging.getLogger("repro").setLevel(level)

@@ -1,0 +1,16 @@
+"""Dependency-free visualization: ASCII heatmaps, PPM/SVG dumps.
+
+The library runs in environments without matplotlib, so plots are
+emitted as plain text (quick terminal inspection), binary PPM images
+(any image viewer opens them) and standalone SVG (placement plots).
+"""
+
+from repro.viz.heatmap import ascii_heatmap, save_heatmap_ppm
+from repro.viz.placement import placement_svg, save_placement_svg
+
+__all__ = [
+    "ascii_heatmap",
+    "save_heatmap_ppm",
+    "placement_svg",
+    "save_placement_svg",
+]

@@ -1,0 +1,88 @@
+"""Scalar-map rendering: ASCII art and PPM images.
+
+Used for density, congestion and utilization maps.  Map convention
+follows the library ( ``[i, j]`` = column i, row j ), rendered with the
+y axis pointing up as on a die plot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    scalar_map: np.ndarray,
+    width: int = 64,
+    vmax: float | None = None,
+    title: str = "",
+) -> str:
+    """Render a scalar map as an ASCII block.
+
+    Parameters
+    ----------
+    width:
+        Output columns; rows follow the map's aspect ratio (2:1
+        character aspect compensation applied).
+    vmax:
+        Saturation value; defaults to the map maximum.
+    """
+    if scalar_map.ndim != 2:
+        raise ValueError("expected a 2-D map")
+    nx, ny = scalar_map.shape
+    width = min(width, nx) or 1
+    height = max(int(width * ny / nx / 2), 1)
+
+    # downsample by averaging blocks
+    xi = np.linspace(0, nx, width + 1).astype(int)
+    yi = np.linspace(0, ny, height + 1).astype(int)
+    cap = vmax if vmax is not None else float(scalar_map.max())
+    cap = cap if cap > 0 else 1.0
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height - 1, -1, -1):  # y axis up
+        row = []
+        for c in range(width):
+            block = scalar_map[xi[c] : max(xi[c + 1], xi[c] + 1),
+                               yi[r] : max(yi[r + 1], yi[r] + 1)]
+            v = float(block.mean()) / cap
+            idx = min(int(v * (len(_ASCII_RAMP) - 1) + 0.5), len(_ASCII_RAMP) - 1)
+            row.append(_ASCII_RAMP[max(idx, 0)])
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def _colormap(v: np.ndarray) -> np.ndarray:
+    """Blue->green->yellow->red ramp for v in [0, 1]; returns uint8 RGB."""
+    v = np.clip(v, 0.0, 1.0)
+    r = np.clip(2.0 * v - 0.5, 0, 1)
+    g = 1.0 - np.abs(2.0 * v - 1.0) * 0.8
+    b = np.clip(1.0 - 2.0 * v, 0, 1)
+    return (np.stack([r, g, b], axis=-1) * 255).astype(np.uint8)
+
+
+def save_heatmap_ppm(
+    scalar_map: np.ndarray,
+    path: str,
+    vmax: float | None = None,
+    pixel_scale: int = 4,
+) -> None:
+    """Write a binary PPM (P6) image of the map.
+
+    ``pixel_scale`` enlarges each bin to a square of that many pixels.
+    """
+    if scalar_map.ndim != 2:
+        raise ValueError("expected a 2-D map")
+    cap = vmax if vmax is not None else float(scalar_map.max())
+    cap = cap if cap > 0 else 1.0
+    norm = scalar_map / cap
+    # transpose to (rows, cols) with y up
+    img = _colormap(norm.T[::-1])
+    img = np.repeat(np.repeat(img, pixel_scale, axis=0), pixel_scale, axis=1)
+    h, w, _ = img.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P6 {w} {h} 255\n".encode("ascii"))
+        fh.write(img.tobytes())

@@ -1,0 +1,96 @@
+"""Placement plots as standalone SVG.
+
+Cells are drawn as rectangles (macros emphasized, fixed cells hatched
+grey), PG rails as thin lines, and an optional congestion overlay
+shades G-cells by their congestion value.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.geometry.grid import Grid2D
+from repro.netlist.netlist import Netlist
+
+
+def placement_svg(
+    netlist: Netlist,
+    width_px: int = 800,
+    congestion: np.ndarray | None = None,
+    grid: Grid2D | None = None,
+    show_rails: bool = True,
+) -> str:
+    """Render the current placement as an SVG string."""
+    die = netlist.die
+    scale = width_px / die.width
+    height_px = die.height * scale
+
+    def sx(x: float) -> float:
+        return (x - die.xlo) * scale
+
+    def sy(y: float) -> float:
+        return height_px - (y - die.ylo) * scale  # y axis up
+
+    out = io.StringIO()
+    out.write(
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width_px:.0f}" height="{height_px:.0f}" '
+        f'viewBox="0 0 {width_px:.0f} {height_px:.0f}">\n'
+    )
+    out.write(
+        f'<rect x="0" y="0" width="{width_px:.0f}" height="{height_px:.0f}" '
+        f'fill="#fafafa" stroke="#222"/>\n'
+    )
+
+    if congestion is not None and grid is not None:
+        cap = max(float(congestion.max()), 1e-12)
+        for i in range(grid.nx):
+            for j in range(grid.ny):
+                v = congestion[i, j] / cap
+                if v <= 0.02:
+                    continue
+                r = grid.bin_rect(i, j)
+                out.write(
+                    f'<rect x="{sx(r.xlo):.1f}" y="{sy(r.yhi):.1f}" '
+                    f'width="{r.width * scale:.1f}" height="{r.height * scale:.1f}" '
+                    f'fill="rgb(255,{int(255 * (1 - v))},{int(80 * (1 - v))})" '
+                    f'fill-opacity="0.55"/>\n'
+                )
+
+    if show_rails:
+        for rail in netlist.pg_rails:
+            r = rail.rect
+            out.write(
+                f'<rect x="{sx(r.xlo):.1f}" y="{sy(r.yhi):.1f}" '
+                f'width="{max(r.width * scale, 0.5):.1f}" '
+                f'height="{max(r.height * scale, 0.5):.1f}" fill="#9467bd" '
+                f'fill-opacity="0.6"/>\n'
+            )
+
+    half_w = netlist.cell_width / 2
+    half_h = netlist.cell_height / 2
+    for i in range(netlist.n_cells):
+        x = sx(netlist.x[i] - half_w[i])
+        y = sy(netlist.y[i] + half_h[i])
+        w = netlist.cell_width[i] * scale
+        h = netlist.cell_height[i] * scale
+        if netlist.cell_macro[i]:
+            style = 'fill="#4878a8" fill-opacity="0.8" stroke="#1f3d5c"'
+        elif netlist.cell_fixed[i]:
+            style = 'fill="#888" stroke="#555"'
+        else:
+            style = 'fill="#6fbf73" fill-opacity="0.7" stroke="#3c7a40" stroke-width="0.3"'
+        out.write(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{max(w, 0.4):.1f}" '
+            f'height="{max(h, 0.4):.1f}" {style}/>\n'
+        )
+    out.write("</svg>\n")
+    return out.getvalue()
+
+
+def save_placement_svg(netlist: Netlist, path: str, **kwargs) -> None:
+    """Write :func:`placement_svg` output to a file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(placement_svg(netlist, **kwargs))

@@ -1,0 +1,6 @@
+"""Wirelength objectives: exact HPWL and the smooth WA approximation."""
+
+from repro.wirelength.hpwl import hpwl, hpwl_per_net
+from repro.wirelength.wa import WAWirelength, wa_wirelength_and_grad
+
+__all__ = ["hpwl", "hpwl_per_net", "WAWirelength", "wa_wirelength_and_grad"]

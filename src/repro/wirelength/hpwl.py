@@ -1,0 +1,43 @@
+"""Half-perimeter wirelength (HPWL).
+
+The non-smooth ground-truth objective that the WA model approximates;
+used for reporting and for testing the WA upper bound property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+
+
+def hpwl_per_net(netlist: Netlist, net_weights: np.ndarray | None = None) -> np.ndarray:
+    """HPWL of every net at the current cell positions.
+
+    Nets with fewer than two pins have zero wirelength.
+    """
+    if netlist.n_nets == 0:
+        return np.zeros(0, dtype=np.float64)
+    px, py = netlist.pin_positions()
+    order = netlist.net_pin_order
+    starts = netlist.net_pin_starts[:-1]
+    degrees = netlist.net_degrees()
+
+    ox = px[order]
+    oy = py[order]
+    # reduceat needs non-empty segments; mask out degenerate nets after.
+    safe_starts = np.minimum(starts, max(len(order) - 1, 0))
+    xmax = np.maximum.reduceat(ox, safe_starts) if len(order) else np.zeros(netlist.n_nets)
+    xmin = np.minimum.reduceat(ox, safe_starts) if len(order) else np.zeros(netlist.n_nets)
+    ymax = np.maximum.reduceat(oy, safe_starts) if len(order) else np.zeros(netlist.n_nets)
+    ymin = np.minimum.reduceat(oy, safe_starts) if len(order) else np.zeros(netlist.n_nets)
+    wl = (xmax - xmin) + (ymax - ymin)
+    wl[degrees < 2] = 0.0
+    if net_weights is not None:
+        wl = wl * net_weights
+    return wl
+
+
+def hpwl(netlist: Netlist, net_weights: np.ndarray | None = None) -> float:
+    """Total (optionally weighted) HPWL of the design."""
+    return float(hpwl_per_net(netlist, net_weights).sum())

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Grid2D, Rect
+from repro.netlist import CellSpec, Netlist, NetSpec, PinSpec
+from repro.synth import toy_design
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def grid16():
+    """16x16 grid over a 8x8 die."""
+    return Grid2D(Rect(0, 0, 8, 8), 16, 16)
+
+
+@pytest.fixture
+def tiny_netlist():
+    """Four cells, two nets, deterministic geometry."""
+    die = Rect(0, 0, 10, 10)
+    cells = [
+        CellSpec("a", 1.0, 1.0, x=2.0, y=2.0),
+        CellSpec("b", 1.0, 1.0, x=8.0, y=2.0),
+        CellSpec("c", 2.0, 1.0, x=5.0, y=8.0),
+        CellSpec("fix", 2.0, 2.0, x=5.0, y=5.0, fixed=True, macro=True),
+    ]
+    nets = [
+        NetSpec("n1", [PinSpec("a", 0.1, 0.0), PinSpec("b", -0.1, 0.0)]),
+        NetSpec("n2", [PinSpec("a"), PinSpec("b"), PinSpec("c", 0.5, 0.2)]),
+    ]
+    return Netlist.from_specs("tiny", die, cells, nets)
+
+
+@pytest.fixture
+def toy120():
+    """Small generated design (120 cells) for pipeline tests."""
+    return toy_design(120, seed=7)
+
+
+@pytest.fixture
+def toy300():
+    return toy_design(300, seed=3)

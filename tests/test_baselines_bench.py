@@ -1,0 +1,112 @@
+"""Flow runners and benchmark harness tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GPSeed,
+    ablation_config,
+    make_gp_seed,
+    run_ours,
+    run_xplace,
+    run_xplace_route,
+    xplace_route_config,
+)
+from repro.bench.harness import ABLATION_ROWS, run_design, table_rows
+from repro.core import RDConfig
+from repro.evalrt import EvalConfig
+from repro.legalize import check_legal
+from repro.place import GPConfig
+from repro.route import RouterConfig
+from repro.synth import toy_design
+
+
+@pytest.fixture(scope="module")
+def shared():
+    """One design + GP seed reused by all flow tests (expensive)."""
+    nl = toy_design(200, seed=11)
+    gp = GPConfig(max_iters=150)
+    seed = make_gp_seed(nl, gp)
+    rd = RDConfig(gp=gp, max_rounds=2, iters_per_round=10)
+    return nl, gp, rd, seed
+
+
+class TestConfigs:
+    def test_xplace_route_recipe(self):
+        cfg = xplace_route_config()
+        assert cfg.inflation_mode == "present"
+        assert cfg.pg_mode == "static"
+        assert not cfg.enable_dc
+
+    def test_ablation_rows_match_table2(self):
+        base = ablation_config(mci=False, dc=False, dpa=False)
+        assert base.inflation_mode == "present" and base.pg_mode == "static"
+        full = ablation_config(mci=True, dc=True, dpa=True)
+        assert full.inflation_mode == "momentum"
+        assert full.pg_mode == "dynamic"
+        assert full.enable_dc
+
+    def test_ablation_row_labels(self):
+        labels = [label for label, _ in ABLATION_ROWS]
+        assert labels == ["baseline", "+MCI", "+MCI+DC", "+MCI+DC+DPA"]
+
+
+class TestFlows:
+    def test_xplace_flow_legal(self, shared):
+        nl, gp, rd, seed = shared
+        flow = run_xplace(nl, gp, seed)
+        assert flow.name == "Xplace"
+        assert check_legal(flow.netlist) == []
+        assert flow.placement_time >= seed.time
+
+    def test_xplace_route_flow(self, shared):
+        nl, gp, rd, seed = shared
+        flow = run_xplace_route(nl, rd, seed)
+        assert flow.name == "Xplace-Route"
+        assert flow.rd_result is not None
+        assert check_legal(flow.netlist) == []
+
+    def test_ours_flow(self, shared):
+        nl, gp, rd, seed = shared
+        flow = run_ours(nl, rd, seed)
+        assert flow.name == "Ours"
+        assert flow.rd_result.n_rounds >= 1
+        assert check_legal(flow.netlist) == []
+
+    def test_flows_do_not_mutate_input(self, shared):
+        nl, gp, rd, seed = shared
+        x_before = nl.x.copy()
+        run_xplace(nl, gp, seed)
+        assert np.array_equal(nl.x, x_before)
+
+    def test_seed_shared_start(self, shared):
+        nl, gp, rd, seed = shared
+        f1 = run_xplace(nl, gp, seed)
+        f2 = run_xplace(nl, gp, seed)
+        assert np.array_equal(f1.netlist.x, f2.netlist.x)
+
+
+class TestHarness:
+    def test_run_design_rows(self):
+        nl = toy_design(150, seed=4)
+        outcome = run_design(
+            nl,
+            gp_config=GPConfig(max_iters=120),
+            rd_config=RDConfig(
+                gp=GPConfig(max_iters=120), max_rounds=2, iters_per_round=10
+            ),
+            eval_config=EvalConfig(
+                grid_dim_factor=1, router=RouterConfig(rrr_rounds=1)
+            ),
+        )
+        rows = table_rows([outcome])
+        assert {r.placer for r in rows} == {"Xplace", "Xplace-Route", "Ours"}
+        for r in rows:
+            assert r.metrics["#DRVs"] >= 0
+            assert r.metrics["DRWL"] > 0
+            assert r.metrics["PT"] > 0
+
+    def test_unknown_placer_rejected(self):
+        nl = toy_design(100, seed=1)
+        with pytest.raises(ValueError):
+            run_design(nl, placers=("Bogus",), gp_config=GPConfig(max_iters=50))

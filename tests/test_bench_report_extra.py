@@ -1,0 +1,57 @@
+"""Extra coverage for reporting and the __main__ entry point."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.evalrt.report import MetricRow, format_table, ratio_row
+
+
+class TestRatioEdgeCases:
+    def test_missing_placer_on_a_design_skipped(self):
+        rows = [
+            MetricRow("d1", "A", {"#DRVs": 10.0}),
+            MetricRow("d1", "B", {"#DRVs": 5.0}),
+            MetricRow("d2", "B", {"#DRVs": 7.0}),  # d2 lacks A
+        ]
+        r = ratio_row(rows, "B", keys=("#DRVs",))
+        assert r["A"]["#DRVs"] == pytest.approx(2.0)
+
+    def test_zero_reference_skipped(self):
+        rows = [
+            MetricRow("d1", "A", {"#DRVs": 10.0}),
+            MetricRow("d1", "B", {"#DRVs": 0.0}),
+        ]
+        r = ratio_row(rows, "B", keys=("#DRVs",))
+        assert r["A"]["#DRVs"] != r["A"]["#DRVs"]  # NaN: no valid designs
+
+    def test_format_table_without_reference(self):
+        rows = [MetricRow("d1", "A", {"#DRVs": 10.0})]
+        text = format_table(rows, keys=("#DRVs",))
+        assert "Avg. Ratio" not in text
+        assert "d1" in text
+
+    def test_small_values_two_decimals(self):
+        rows = [MetricRow("d1", "A", {"PT": 3.14159})]
+        text = format_table(rows, keys=("PT",))
+        assert "3.14" in text
+
+
+class TestMainEntry:
+    def test_module_invocation_help(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "gen" in proc.stdout and "place" in proc.stdout
+
+    def test_unknown_command_fails(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "bogus"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode != 0

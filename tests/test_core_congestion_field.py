@@ -1,0 +1,71 @@
+"""Congestion field (differentiable C(x, y)) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import CongestionField
+from repro.geometry import Grid2D, Rect
+
+
+@pytest.fixture
+def hotspot_field():
+    grid = Grid2D(Rect(0, 0, 8, 8), 32, 32)
+    util = np.full(grid.shape, 0.2)
+    util[16, 16] = 4.0
+    return grid, CongestionField(grid, util)
+
+
+class TestPotential:
+    def test_peak_at_hotspot(self, hotspot_field):
+        grid, fld = hotspot_field
+        assert fld.potential.argmax() == np.ravel_multi_index((16, 16), grid.shape)
+
+    def test_potential_at_interpolates(self, hotspot_field):
+        grid, fld = hotspot_field
+        cx, cy = grid.center_of(16, 16)
+        near = fld.potential_at(cx + grid.dx / 4, cy)
+        far = fld.potential_at(1.0, 1.0)
+        assert near > far
+
+    def test_penalty_is_half_sum(self, hotspot_field):
+        grid, fld = hotspot_field
+        xs = np.array([2.0, 4.0])
+        ys = np.array([2.0, 4.0])
+        areas = np.array([1.0, 2.0])
+        expected = 0.5 * (areas * fld.potential_at(xs, ys)).sum()
+        assert fld.penalty(xs, ys, areas) == pytest.approx(expected)
+
+    def test_penalty_scales_with_area(self, hotspot_field):
+        _, fld = hotspot_field
+        p1 = fld.penalty(np.array([4.1]), np.array([4.1]), 1.0)
+        p2 = fld.penalty(np.array([4.1]), np.array([4.1]), 2.0)
+        assert p2 == pytest.approx(2 * p1)
+
+
+class TestGradient:
+    def test_descent_moves_away(self, hotspot_field):
+        grid, fld = hotspot_field
+        cx, cy = grid.center_of(16, 16)
+        # probe points on all four sides
+        probes = [
+            (cx - 1, cy, "x", -1),
+            (cx + 1, cy, "x", +1),
+            (cx, cy - 1, "y", -1),
+            (cx, cy + 1, "y", +1),
+        ]
+        for px, py, axis, side in probes:
+            gx, gy = fld.gradient_at(np.array([px]), np.array([py]), 1.0)
+            step = -(gx[0] if axis == "x" else gy[0])
+            assert np.sign(step) == side  # step increases distance
+
+    def test_gradient_scales_with_charge(self, hotspot_field):
+        _, fld = hotspot_field
+        g1 = fld.gradient_at(np.array([3.0]), np.array([4.0]), 1.0)
+        g2 = fld.gradient_at(np.array([3.0]), np.array([4.0]), 3.0)
+        assert g2[0][0] == pytest.approx(3 * g1[0][0])
+
+    def test_uniform_utilization_no_force(self):
+        grid = Grid2D(Rect(0, 0, 8, 8), 16, 16)
+        fld = CongestionField(grid, np.full(grid.shape, 0.7))
+        gx, gy = fld.gradient_at(np.array([4.0]), np.array([4.0]), 1.0)
+        assert abs(gx[0]) < 1e-10 and abs(gy[0]) < 1e-10

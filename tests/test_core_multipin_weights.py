@@ -1,0 +1,99 @@
+"""Algorithm 2 multi-pin selection and Eq. (10) lambda_2 tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import CongestionField, congestion_penalty_weight, multi_pin_cell_gradients
+from repro.core.weights import count_cells_in_congestion
+from repro.geometry import Grid2D, Rect
+from repro.netlist import CellSpec, Netlist, NetSpec, PinSpec
+
+
+def _hub_scene(hub_cong=3.0):
+    """A 4-pin hub cell in a congested bin plus 1-pin leaf cells."""
+    die = Rect(0, 0, 10, 10)
+    cells = [CellSpec("hub", 0.5, 0.5, x=5.2, y=5.3)] + [
+        CellSpec(f"s{k}", 0.5, 0.5, x=1.0 + k, y=1.0) for k in range(4)
+    ]
+    nets = [NetSpec(f"e{k}", [PinSpec("hub"), PinSpec(f"s{k}")]) for k in range(4)]
+    nl = Netlist.from_specs("hub", die, cells, nets)
+    grid = Grid2D(die, 20, 20)
+    util = np.zeros(grid.shape)
+    util[grid.index_of(5.25, 5.25)] = hub_cong
+    cong = np.maximum(util - 1.0, 0.0)
+    return nl, grid, util, cong
+
+
+class TestMultiPinSelection:
+    def test_hub_selected(self):
+        nl, grid, util, cong = _hub_scene()
+        fld = CongestionField(grid, util)
+        gx, gy, sel = multi_pin_cell_gradients(nl, grid, cong, fld, threshold=0.7)
+        assert sel[0]
+        assert not sel[1:].any()  # leaves have 1 pin == below average? avg=8/5=1.6
+        assert gx[0] != 0 or gy[0] != 0
+
+    def test_threshold_blocks_selection(self):
+        nl, grid, util, cong = _hub_scene(hub_cong=1.5)  # congestion 0.5 < 0.7
+        fld = CongestionField(grid, util)
+        _, _, sel = multi_pin_cell_gradients(nl, grid, cong, fld, threshold=0.7)
+        assert not sel.any()
+
+    def test_pin_count_rule(self):
+        # hub has 4 pins, average = 8/5 = 1.6 -> only hub exceeds it
+        nl, grid, util, cong = _hub_scene()
+        counts = nl.cell_pin_counts()
+        assert counts[0] == 4
+        assert counts[0] > counts.mean()
+        assert (counts[1:] <= counts.mean()).all()
+
+    def test_gradient_points_away_from_blob(self):
+        nl, grid, util, cong = _hub_scene()
+        fld = CongestionField(grid, util)
+        gx, gy, _ = multi_pin_cell_gradients(nl, grid, cong, fld, 0.7)
+        # hub at (5.2, 5.3), blob center (5.25, 5.25):
+        # descent step -grad must increase distance from the blob center
+        new = np.array([5.2 - 0.01 * gx[0], 5.3 - 0.01 * gy[0]])
+        d_old = np.hypot(5.2 - 5.25, 5.3 - 5.25)
+        d_new = np.hypot(new[0] - 5.25, new[1] - 5.25)
+        assert d_new > d_old
+
+    def test_fixed_cells_never_selected(self):
+        nl, grid, util, cong = _hub_scene()
+        nl.cell_fixed[0] = True
+        fld = CongestionField(grid, util)
+        _, _, sel = multi_pin_cell_gradients(nl, grid, cong, fld, 0.7)
+        assert not sel[0]
+        nl.cell_fixed[0] = False
+
+    def test_empty_netlist(self):
+        die = Rect(0, 0, 4, 4)
+        nl = Netlist.from_specs("e", die, [], [])
+        grid = Grid2D(die, 8, 8)
+        fld = CongestionField(grid, np.zeros(grid.shape))
+        gx, gy, sel = multi_pin_cell_gradients(nl, grid, np.zeros(grid.shape), fld)
+        assert len(gx) == 0 and len(sel) == 0
+
+
+class TestLambda2:
+    def test_eq10_formula(self):
+        lam = congestion_penalty_weight(
+            wl_grad_l1=100.0, cong_grad_l1=20.0, n_congested_cells=50, n_cells=200
+        )
+        assert lam == pytest.approx((2 * 50 / 200) * (100 / 20))
+
+    def test_zero_when_no_congestion_force(self):
+        assert congestion_penalty_weight(100.0, 0.0, 10, 100) == 0.0
+
+    def test_zero_when_no_cells(self):
+        assert congestion_penalty_weight(100.0, 10.0, 0, 0) == 0.0
+
+    def test_scales_with_congested_fraction(self):
+        lo = congestion_penalty_weight(10.0, 1.0, 5, 100)
+        hi = congestion_penalty_weight(10.0, 1.0, 50, 100)
+        assert hi == pytest.approx(10 * lo)
+
+    def test_count_cells_in_congestion(self):
+        nl, grid, util, cong = _hub_scene()
+        n = count_cells_in_congestion(nl, grid, cong)
+        assert n == 1  # only the hub sits in the congested bin

@@ -1,0 +1,140 @@
+"""Algorithm 1 tests: virtual cells and two-pin net gradients."""
+
+import numpy as np
+import pytest
+
+from repro.core import CongestionField, NetMoveConfig, two_pin_net_gradients, virtual_cell_positions
+from repro.geometry import Grid2D, Rect
+from repro.netlist import CellSpec, Netlist, NetSpec, PinSpec
+
+
+def _net_scene(blob_at=(5.1, 5.1), cells_y=5.0, blob_val=3.0):
+    """Two cells on a horizontal two-pin net plus a congestion blob."""
+    die = Rect(0, 0, 10, 10)
+    cells = [
+        CellSpec("a", 0.5, 0.5, x=2, y=cells_y),
+        CellSpec("b", 0.5, 0.5, x=8, y=cells_y),
+    ]
+    nets = [NetSpec("n", [PinSpec("a"), PinSpec("b")])]
+    nl = Netlist.from_specs("scene", die, cells, nets)
+    grid = Grid2D(die, 20, 20)
+    util = np.zeros(grid.shape)
+    util[grid.index_of(*blob_at)] = blob_val
+    cong = np.maximum(util - 1.0, 0.0)
+    return nl, grid, util, cong
+
+
+class TestVirtualCell:
+    def test_lands_on_max_congestion_sample(self):
+        nl, grid, util, cong = _net_scene()
+        info = virtual_cell_positions(nl, grid, cong)
+        assert info["active"][0]
+        # virtual cell inside the congested bin's x-range
+        i, j = grid.index_of(info["xv"][0], info["yv"][0])
+        assert cong[i, j] == cong.max()
+        assert info["congestion"][0] == pytest.approx(2.0)
+
+    def test_inactive_without_congestion_on_segment(self):
+        nl, grid, util, cong = _net_scene(blob_at=(5.0, 8.0))
+        info = virtual_cell_positions(nl, grid, cong)
+        assert not info["active"][0]
+
+    def test_k_samples_eq6(self):
+        nl, grid, _, cong = _net_scene()
+        # pins 6 apart, G-cell width 0.5 -> k = 12 samples (capped at config)
+        cfg = NetMoveConfig(max_samples=48)
+        info = virtual_cell_positions(nl, grid, cong, cfg)
+        assert info["xv"].shape == (1,)
+
+    def test_sample_cap_respected(self):
+        nl, grid, _, cong = _net_scene()
+        cfg = NetMoveConfig(max_samples=3)
+        info = virtual_cell_positions(nl, grid, cong, cfg)
+        # with only 3 samples at 1/4, 2/4, 3/4, the middle one (x=5) hits
+        assert info["active"][0]
+
+    def test_min_congestion_threshold(self):
+        nl, grid, _, cong = _net_scene(blob_val=1.5)  # congestion 0.5
+        info = virtual_cell_positions(nl, grid, cong, NetMoveConfig(min_congestion=0.6))
+        assert not info["active"][0]
+
+    def test_no_two_pin_nets(self):
+        die = Rect(0, 0, 4, 4)
+        cells = [CellSpec(c, 0.5, 0.5, x=1 + i, y=2) for i, c in enumerate("abc")]
+        nets = [NetSpec("n", [PinSpec("a"), PinSpec("b"), PinSpec("c")])]
+        nl = Netlist.from_specs("m", die, cells, nets)
+        grid = Grid2D(die, 8, 8)
+        info = virtual_cell_positions(nl, grid, np.ones(grid.shape))
+        assert len(info["xv"]) == 0
+
+
+class TestGradients:
+    def test_direction_perpendicular_and_away(self):
+        nl, grid, util, cong = _net_scene()
+        fld = CongestionField(grid, util)
+        gx, gy, _ = two_pin_net_gradients(nl, grid, cong, fld, 0.25)
+        # blob slightly above the segment: minimization step (-grad)
+        # must move cells down => grad_y > 0; no x-component
+        assert abs(gx[0]) < 1e-12 and abs(gx[1]) < 1e-12
+        assert gy[0] > 0 and gy[1] > 0
+
+    def test_eq9_distance_scaling(self):
+        nl, grid, util, cong = _net_scene()
+        fld = CongestionField(grid, util)
+        gx, gy, info = two_pin_net_gradients(nl, grid, cong, fld, 0.25)
+        xv = info["xv"][info["active"]][0]
+        d_a = abs(xv - 2.0)
+        d_b = abs(xv - 8.0)
+        # closer pin gets the larger gradient, ratio = d_b/d_a
+        assert abs(gy[0] / gy[1]) == pytest.approx(d_b / d_a, rel=1e-6)
+
+    def test_max_scale_clamp(self):
+        nl, grid, util, cong = _net_scene(blob_at=(2.3, 5.1))
+        fld = CongestionField(grid, util)
+        cfg = NetMoveConfig(max_scale=1.0)
+        gx1, gy1, _ = two_pin_net_gradients(nl, grid, cong, fld, 0.25, cfg)
+        cfg2 = NetMoveConfig(max_scale=8.0)
+        gx2, gy2, _ = two_pin_net_gradients(nl, grid, cong, fld, 0.25, cfg2)
+        assert abs(gy1[0]) <= abs(gy2[0]) + 1e-12
+
+    def test_inactive_nets_zero_gradient(self):
+        nl, grid, util, cong = _net_scene(blob_at=(5.0, 8.0))
+        fld = CongestionField(grid, util)
+        gx, gy, _ = two_pin_net_gradients(nl, grid, cong, fld, 0.25)
+        assert np.allclose(gx, 0) and np.allclose(gy, 0)
+
+    def test_fixed_cells_masked(self):
+        die = Rect(0, 0, 10, 10)
+        cells = [
+            CellSpec("a", 0.5, 0.5, x=2, y=5, fixed=True),
+            CellSpec("b", 0.5, 0.5, x=8, y=5),
+        ]
+        nets = [NetSpec("n", [PinSpec("a"), PinSpec("b")])]
+        nl = Netlist.from_specs("f", die, cells, nets)
+        grid = Grid2D(die, 20, 20)
+        util = np.zeros(grid.shape)
+        util[grid.index_of(5.1, 5.1)] = 3.0
+        fld = CongestionField(grid, util)
+        gx, gy, _ = two_pin_net_gradients(nl, grid, np.maximum(util - 1, 0), fld, 0.25)
+        assert gx[0] == 0 and gy[0] == 0
+        assert gy[1] != 0
+
+    def test_gradients_accumulate_over_nets(self):
+        die = Rect(0, 0, 10, 10)
+        cells = [
+            CellSpec("hub", 0.5, 0.5, x=2, y=5),
+            CellSpec("b", 0.5, 0.5, x=8, y=5),
+            CellSpec("c", 0.5, 0.5, x=8, y=5.2),
+        ]
+        nets = [
+            NetSpec("n1", [PinSpec("hub"), PinSpec("b")]),
+            NetSpec("n2", [PinSpec("hub"), PinSpec("c")]),
+        ]
+        nl = Netlist.from_specs("acc", die, cells, nets)
+        grid = Grid2D(die, 20, 20)
+        util = np.zeros(grid.shape)
+        util[grid.index_of(5.1, 5.15)] = 3.0
+        fld = CongestionField(grid, util)
+        gx, gy, _ = two_pin_net_gradients(nl, grid, np.maximum(util - 1, 0), fld, 0.25)
+        # hub belongs to both nets: gradient magnitude exceeds each leaf's
+        assert abs(gy[0]) > abs(gy[1]) - 1e-12

@@ -1,0 +1,143 @@
+"""PG-rail selection (Fig. 4) and dynamic PG density (Eq. 13-15) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import PinAccessConfig, pg_density_charge, rail_area_map, select_pg_rails
+from repro.core.pgrails import _cut_interval
+from repro.geometry import Grid2D, Rect
+from repro.netlist import CellSpec, Netlist, NetSpec, PGRailSpec
+from repro.synth import toy_design
+
+
+class TestCutInterval:
+    def test_no_holes(self):
+        assert _cut_interval(0, 10, []) == [(0, 10)]
+
+    def test_middle_hole(self):
+        assert _cut_interval(0, 10, [(4, 6)]) == [(0, 4), (6, 10)]
+
+    def test_overlapping_holes(self):
+        pieces = _cut_interval(0, 10, [(2, 5), (4, 7)])
+        assert pieces == [(0, 2), (7, 10)]
+
+    def test_hole_covers_all(self):
+        assert _cut_interval(0, 10, [(-1, 11)]) == []
+
+    def test_hole_at_edges(self):
+        assert _cut_interval(0, 10, [(0, 3), (8, 10)]) == [(3, 8)]
+
+
+def _railed_netlist(macro_x=5.0):
+    die = Rect(0, 0, 10, 10)
+    cells = [
+        CellSpec("m0", 3.0, 3.0, x=macro_x, y=5.0, fixed=True, macro=True),
+        CellSpec("c0", 0.5, 1.0, x=1, y=1),
+    ]
+    rails = [
+        PGRailSpec(Rect(0, 4.95, 10, 5.05), horizontal=True),   # crosses macro
+        PGRailSpec(Rect(0, 0.95, 10, 1.05), horizontal=True),   # clear
+        PGRailSpec(Rect(0, 9.0, 10, 9.1), horizontal=True),     # clear
+    ]
+    return Netlist.from_specs("r", die, cells, [], pg_rails=rails)
+
+
+class TestSelection:
+    def test_clear_rails_survive_whole(self):
+        nl = _railed_netlist()
+        selected = select_pg_rails(nl)
+        full = [r for r in selected if r.rect.width == pytest.approx(10.0)]
+        assert len(full) == 2
+
+    def test_cut_rail_produces_pieces(self):
+        nl = _railed_netlist()
+        selected = select_pg_rails(nl)
+        pieces = [r for r in selected if r.rect.width < 10.0]
+        # macro 3 wide at x=5, expanded 10% -> blocks [3.2, 6.8]:
+        # pieces [0, 3.2] and [6.8, 10] both >= 0.2*10 = 2
+        assert len(pieces) == 2
+        widths = sorted(p.rect.width for p in pieces)
+        assert widths[0] == pytest.approx(3.2, abs=0.01)
+        assert widths[1] == pytest.approx(3.2, abs=0.01)
+
+    def test_short_pieces_dropped(self):
+        # macro nearly spans the die: left/right pieces shorter than 0.2*W
+        nl = _railed_netlist()
+        big = Netlist.from_specs(
+            "big",
+            nl.die,
+            [CellSpec("m0", 8.0, 3.0, x=5.0, y=5.0, fixed=True, macro=True)],
+            [],
+            pg_rails=[PGRailSpec(Rect(0, 4.95, 10, 5.05), horizontal=True)],
+        )
+        selected = select_pg_rails(big)
+        assert selected == []
+
+    def test_vertical_rails(self):
+        die = Rect(0, 0, 10, 10)
+        cells = [CellSpec("m", 3, 3, x=5, y=5, fixed=True, macro=True)]
+        rails = [PGRailSpec(Rect(4.95, 0, 5.05, 10), horizontal=False)]
+        nl = Netlist.from_specs("v", die, cells, [], pg_rails=rails)
+        selected = select_pg_rails(nl)
+        assert len(selected) == 2
+        assert all(not r.horizontal for r in selected)
+
+    def test_generated_design_selection_nonempty(self):
+        nl = toy_design(150, seed=2)
+        selected = select_pg_rails(nl)
+        assert 0 < len(selected)
+        # every selected piece satisfies the 0.2x span rule
+        for r in selected:
+            assert r.length >= 0.2 * nl.die.width - 1e-9
+
+
+class TestRailAreaMap:
+    def test_area_conserved(self):
+        nl = _railed_netlist()
+        grid = Grid2D(nl.die, 20, 20)
+        m = rail_area_map(nl.pg_rails, grid)
+        total = sum(r.rect.area for r in nl.pg_rails)
+        assert m.sum() == pytest.approx(total, rel=1e-9)
+
+    def test_empty_rails(self):
+        grid = Grid2D(Rect(0, 0, 4, 4), 8, 8)
+        assert rail_area_map([], grid).sum() == 0.0
+
+
+class TestPGDensity:
+    def test_eta_selects_above_average_bins(self):
+        grid = Grid2D(Rect(0, 0, 4, 4), 8, 8)
+        rail_area = np.ones(grid.shape) * 0.1
+        cong = np.zeros(grid.shape)
+        cong[3, 3] = 1.0  # mean > 0, only this bin above mean
+        charge = pg_density_charge(grid, rail_area, cong, PinAccessConfig(density_scale=1.0))
+        assert charge[3, 3] == pytest.approx((1 + 1.0) * 0.1)
+        assert charge[0, 0] == 0.0
+
+    def test_weight_is_one_plus_congestion(self):
+        grid = Grid2D(Rect(0, 0, 4, 4), 8, 8)
+        rail_area = np.ones(grid.shape)
+        cong = np.zeros(grid.shape)
+        cong[1, 1] = 0.5
+        cong[2, 2] = 1.5
+        charge = pg_density_charge(grid, rail_area, cong, PinAccessConfig(density_scale=1.0))
+        assert charge[2, 2] / charge[1, 1] == pytest.approx(2.5 / 1.5)
+
+    def test_zero_congestion_zero_charge(self):
+        grid = Grid2D(Rect(0, 0, 4, 4), 8, 8)
+        charge = pg_density_charge(grid, np.ones(grid.shape), np.zeros(grid.shape))
+        assert charge.sum() == 0.0
+
+    def test_shape_mismatch(self):
+        grid = Grid2D(Rect(0, 0, 4, 4), 8, 8)
+        with pytest.raises(ValueError):
+            pg_density_charge(grid, np.zeros((3, 3)), np.zeros(grid.shape))
+
+    def test_density_scale(self):
+        grid = Grid2D(Rect(0, 0, 4, 4), 8, 8)
+        rail_area = np.ones(grid.shape)
+        cong = np.zeros(grid.shape)
+        cong[1, 1] = 1.0
+        c1 = pg_density_charge(grid, rail_area, cong, PinAccessConfig(density_scale=1.0))
+        c2 = pg_density_charge(grid, rail_area, cong, PinAccessConfig(density_scale=2.0))
+        assert c2[1, 1] == pytest.approx(2 * c1[1, 1])

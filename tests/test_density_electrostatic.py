@@ -1,0 +1,89 @@
+"""Electrostatic system tests: energy, forces, overflow, static charge."""
+
+import numpy as np
+import pytest
+
+from repro.density import ElectrostaticSystem
+from repro.geometry import Grid2D, Rect
+
+
+@pytest.fixture
+def system():
+    return ElectrostaticSystem(Grid2D(Rect(0, 0, 8, 8), 32, 32), target_density=0.9)
+
+
+class TestSolve:
+    def test_two_close_cells_repel(self, system):
+        x = np.array([3.9, 4.1])
+        y = np.array([4.0, 4.0])
+        w = np.array([0.5, 0.5])
+        h = np.array([0.5, 0.5])
+        sol = system.solve(x, y, w, h)
+        # descent direction -grad pushes them apart in x
+        assert -sol.grad_x[0] < 0 and -sol.grad_x[1] > 0
+
+    def test_energy_decreases_when_spreading(self, system):
+        w = np.full(2, 0.5)
+        h = np.full(2, 0.5)
+        e_close = system.solve(np.array([3.9, 4.1]), np.array([4.0, 4.0]), w, h).energy
+        e_far = system.solve(np.array([2.0, 6.0]), np.array([4.0, 4.0]), w, h).energy
+        assert e_far < e_close
+
+    def test_gradient_consistent_with_energy_finite_difference(self, system):
+        """The ePlace force q*E is a consistent descent direction.
+
+        It is not the exact derivative of the *discretized* energy
+        (rasterization makes that only piecewise smooth), but it must
+        agree in sign and order of magnitude with the finite
+        difference everywhere.
+        """
+        x = np.array([3.5, 4.5, 4.0])
+        y = np.array([4.0, 4.2, 3.6])
+        w = np.full(3, 0.6)
+        h = np.full(3, 0.6)
+        sol = system.solve(x, y, w, h)
+        eps = 1e-4
+        for i in range(3):
+            xp = x.copy(); xp[i] += eps
+            xm = x.copy(); xm[i] -= eps
+            fd = (system.solve(xp, y, w, h).energy - system.solve(xm, y, w, h).energy) / (2 * eps)
+            assert np.sign(sol.grad_x[i]) == np.sign(fd)
+            ratio = sol.grad_x[i] / fd
+            assert 0.5 < ratio < 1.5
+
+    def test_overflow_zero_when_spread(self, system, rng):
+        n = 16
+        xs, ys = np.meshgrid(np.linspace(1, 7, 4), np.linspace(1, 7, 4))
+        sol = system.solve(xs.ravel(), ys.ravel(), np.full(n, 0.3), np.full(n, 0.3))
+        assert sol.overflow == pytest.approx(0.0, abs=1e-9)
+
+    def test_overflow_positive_when_stacked(self, system):
+        n = 10
+        sol = system.solve(np.full(n, 4.0), np.full(n, 4.0),
+                           np.full(n, 1.0), np.full(n, 1.0))
+        assert sol.overflow > 0.5
+
+
+class TestStaticCharge:
+    def test_static_obstacle_repels(self):
+        grid = Grid2D(Rect(0, 0, 8, 8), 32, 32)
+        static = ElectrostaticSystem.static_charge_from(
+            grid, np.array([4.0]), np.array([4.0]), np.array([2.0]), np.array([2.0])
+        )
+        system = ElectrostaticSystem(grid, 0.9, static_charge=static)
+        sol = system.solve(np.array([3.2]), np.array([4.0]),
+                           np.array([0.5]), np.array([0.5]))
+        # cell left of the obstacle is pushed further left
+        assert -sol.grad_x[0] < 0
+
+    def test_static_shape_mismatch(self):
+        grid = Grid2D(Rect(0, 0, 8, 8), 32, 32)
+        with pytest.raises(ValueError):
+            ElectrostaticSystem(grid, 0.9, static_charge=np.zeros((3, 3)))
+
+    def test_bad_target_density(self):
+        grid = Grid2D(Rect(0, 0, 8, 8), 16, 16)
+        with pytest.raises(ValueError):
+            ElectrostaticSystem(grid, 0.0)
+        with pytest.raises(ValueError):
+            ElectrostaticSystem(grid, 1.5)

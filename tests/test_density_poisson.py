@@ -1,0 +1,114 @@
+"""Spectral Poisson solver tests: brute-force basis and FD cross-checks."""
+
+import numpy as np
+import pytest
+
+from repro.density import PoissonSolver, solve_poisson_fd
+from repro.geometry import Grid2D, Rect
+
+
+def brute_force(grid, rho):
+    """Direct cosine-basis projection solution (O(n^4), tiny grids only)."""
+    m, n = grid.nx, grid.ny
+    xs = (np.arange(m) + 0.5) * grid.dx
+    ys = (np.arange(n) + 0.5) * grid.dy
+    bal = rho - rho.mean()
+    psi = np.zeros((m, n))
+    ex = np.zeros((m, n))
+    ey = np.zeros((m, n))
+    for u in range(m):
+        for v in range(n):
+            if u == 0 and v == 0:
+                continue
+            wu = np.pi * u / (m * grid.dx)
+            wv = np.pi * v / (n * grid.dy)
+            bu = np.cos(wu * xs)
+            bv = np.cos(wv * ys)
+            norm = (bu**2).sum() * (bv**2).sum()
+            a = (bal * np.outer(bu, bv)).sum() / norm
+            c = a / (wu**2 + wv**2)
+            psi += c * np.outer(bu, bv)
+            ex += c * wu * np.outer(np.sin(wu * xs), bv)
+            ey += c * wv * np.outer(bu, np.sin(wv * ys))
+    return psi, ex, ey
+
+
+class TestSpectralSolver:
+    @pytest.mark.parametrize("shape", [(8, 8), (8, 4), (5, 7)])
+    def test_matches_brute_force(self, shape, rng):
+        grid = Grid2D(Rect(0, 0, 4, 3), *shape)
+        rho = rng.random(shape)
+        psi, ex, ey = PoissonSolver(grid).solve(rho)
+        psi_bf, ex_bf, ey_bf = brute_force(grid, rho)
+        assert np.allclose(psi, psi_bf, atol=1e-12)
+        assert np.allclose(ex, ex_bf, atol=1e-12)
+        assert np.allclose(ey, ey_bf, atol=1e-12)
+
+    def test_potential_zero_mean(self, rng):
+        grid = Grid2D(Rect(0, 0, 2, 2), 16, 16)
+        psi, _, _ = PoissonSolver(grid).solve(rng.random(grid.shape))
+        assert abs(psi.mean()) < 1e-12
+
+    def test_mean_removed_automatically(self, rng):
+        grid = Grid2D(Rect(0, 0, 2, 2), 16, 16)
+        rho = rng.random(grid.shape)
+        s = PoissonSolver(grid)
+        psi1, _, _ = s.solve(rho)
+        psi2, _, _ = s.solve(rho + 7.0)  # constant offset: same solution
+        assert np.allclose(psi1, psi2, atol=1e-10)
+
+    def test_uniform_charge_gives_zero_field(self):
+        grid = Grid2D(Rect(0, 0, 1, 1), 8, 8)
+        psi, ex, ey = PoissonSolver(grid).solve(np.ones(grid.shape))
+        assert np.allclose(psi, 0, atol=1e-12)
+        assert np.allclose(ex, 0, atol=1e-12)
+
+    def test_field_points_away_from_blob(self):
+        grid = Grid2D(Rect(0, 0, 8, 8), 16, 16)
+        rho = grid.zeros()
+        rho[8, 8] = 10.0
+        _, ex, ey = PoissonSolver(grid).solve(rho)
+        # to the left of the blob, E_x < 0 (away from the charge)
+        assert ex[4, 8] < 0
+        assert ex[12, 8] > 0
+        assert ey[8, 4] < 0
+        assert ey[8, 12] > 0
+
+    def test_laplacian_reproduces_charge(self, rng):
+        # finite-difference Laplacian of psi ~ -(rho - mean)
+        grid = Grid2D(Rect(0, 0, 1, 1), 64, 64)
+        X, Y = grid.centers()
+        rho = np.cos(2 * np.pi * X) * np.cos(np.pi * Y)
+        psi, _, _ = PoissonSolver(grid).solve(rho)
+        lap = (
+            np.roll(psi, 1, 0) + np.roll(psi, -1, 0) - 2 * psi
+        ) / grid.dx**2 + (
+            np.roll(psi, 1, 1) + np.roll(psi, -1, 1) - 2 * psi
+        ) / grid.dy**2
+        inner = (slice(2, -2), slice(2, -2))
+        bal = rho - rho.mean()
+        assert np.allclose(lap[inner], -bal[inner], atol=2e-2)
+
+    def test_shape_mismatch_raises(self):
+        grid = Grid2D(Rect(0, 0, 1, 1), 8, 8)
+        with pytest.raises(ValueError):
+            PoissonSolver(grid).solve(np.zeros((4, 4)))
+
+    def test_fd_reference_agrees(self, rng):
+        grid = Grid2D(Rect(0, 0, 1, 1), 64, 64)
+        X, Y = grid.centers()
+        rho = np.cos(2 * np.pi * X) * np.cos(np.pi * Y)
+        _, ex, ey = PoissonSolver(grid).solve(rho)
+        _, exf, eyf = solve_poisson_fd(grid, rho)
+        scale = np.abs(ex).max()
+        assert np.abs(ex - exf).max() < 0.01 * scale + 1e-12
+        assert np.abs(ey - eyf).max() < 0.01 * scale + 1e-12
+
+    def test_anisotropic_grid(self, rng):
+        grid = Grid2D(Rect(0, 0, 10, 2), 10, 6)
+        rho = rng.random(grid.shape)
+        psi, ex, ey = PoissonSolver(grid).solve(rho)
+        psi_bf, ex_bf, ey_bf = brute_force(grid, rho)
+        assert np.allclose(psi, psi_bf, atol=1e-11)
+        assert np.allclose(ex, ex_bf, atol=1e-11)
+        assert np.allclose(ey, ey_bf, atol=1e-11)

@@ -1,0 +1,122 @@
+"""Charge rasterization tests: conservation and scatter/gather duality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.density import CellRasterizer
+from repro.geometry import Grid2D, Rect
+
+
+@pytest.fixture
+def grid():
+    return Grid2D(Rect(0, 0, 16, 8), 32, 16)
+
+
+class TestChargeConservation:
+    def test_total_equals_cell_area(self, grid, rng):
+        n = 50
+        x = rng.uniform(1, 15, n)
+        y = rng.uniform(1, 7, n)
+        w = rng.uniform(0.1, 0.8, n)
+        h = rng.uniform(0.1, 0.8, n)
+        r = CellRasterizer(grid, x, y, w, h)
+        assert r.total_charge() == pytest.approx((w * h).sum(), rel=1e-12)
+        assert r.charge_map().sum() == pytest.approx((w * h).sum(), rel=1e-10)
+
+    def test_smoothing_preserves_charge(self, grid):
+        # a cell much smaller than a bin still deposits its full area
+        r = CellRasterizer(grid, np.array([5.0]), np.array([5.0]),
+                           np.array([0.01]), np.array([0.01]))
+        assert r.charge_map().sum() == pytest.approx(0.0001, rel=1e-9)
+
+    def test_no_smoothing_exact(self, grid):
+        r = CellRasterizer(grid, np.array([5.0]), np.array([5.0]),
+                           np.array([0.01]), np.array([0.01]), smooth=False)
+        assert r.charge_map().sum() == pytest.approx(0.0001, rel=1e-9)
+
+    def test_large_macro_path(self, grid):
+        # spans far more than the vector span limit -> exact slow path
+        r = CellRasterizer(grid, np.array([8.0]), np.array([4.0]),
+                           np.array([10.0]), np.array([6.0]), smooth=False)
+        m = r.charge_map()
+        assert m.sum() == pytest.approx(60.0, rel=1e-10)
+        # density inside the macro footprint is 1.0
+        assert m[16, 8] == pytest.approx(grid.bin_area, rel=1e-9)
+
+    def test_boundary_clipping(self, grid):
+        # a cell centered at the corner keeps the on-die charge portion
+        r = CellRasterizer(grid, np.array([0.0]), np.array([0.0]),
+                           np.array([2.0]), np.array([2.0]), smooth=False)
+        assert r.charge_map().sum() == pytest.approx(1.0, rel=1e-9)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.5, 15.5), st.floats(0.5, 7.5),
+                      st.floats(0.05, 2.0), st.floats(0.05, 2.0)),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_conservation_property(self, cells):
+        grid = Grid2D(Rect(0, 0, 16, 8), 32, 16)
+        x, y, w, h = (np.array(v) for v in zip(*cells))
+        # keep rects fully on-die so no charge is clipped
+        x = np.clip(x, w, 16 - w)
+        y = np.clip(y, h, 8 - h)
+        r = CellRasterizer(grid, x, y, w, h)
+        assert r.charge_map().sum() == pytest.approx((w * h).sum(), rel=1e-9)
+
+
+class TestGather:
+    def test_gather_ones_returns_charge(self, grid, rng):
+        n = 30
+        x = rng.uniform(1, 15, n)
+        y = rng.uniform(1, 7, n)
+        w = rng.uniform(0.1, 1.5, n)
+        h = rng.uniform(0.1, 1.5, n)
+        r = CellRasterizer(grid, x, y, w, h)
+        per_cell = r.gather(np.ones(grid.shape))
+        assert np.allclose(per_cell, w * h, rtol=1e-9)
+
+    def test_scatter_gather_adjoint(self, grid, rng):
+        """<scatter(q), f> == <q, gather(f)> — the operators are adjoint."""
+        n = 25
+        x = rng.uniform(1, 15, n)
+        y = rng.uniform(1, 7, n)
+        w = rng.uniform(0.1, 1.2, n)
+        h = rng.uniform(0.1, 1.2, n)
+        r = CellRasterizer(grid, x, y, w, h)
+        f = rng.random(grid.shape)
+        lhs = float((r.charge_map() * f).sum())
+        rhs = float(r.gather(f).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_gather_shape_mismatch(self, grid):
+        r = CellRasterizer(grid, np.array([5.0]), np.array([5.0]),
+                           np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            r.gather(np.zeros((3, 3)))
+
+    def test_macro_gather(self, grid):
+        r = CellRasterizer(grid, np.array([8.0]), np.array([4.0]),
+                           np.array([10.0]), np.array([6.0]), smooth=False)
+        assert r.gather(np.ones(grid.shape))[0] == pytest.approx(60.0, rel=1e-9)
+
+    def test_empty_input(self, grid):
+        z = np.zeros(0)
+        r = CellRasterizer(grid, z, z, z, z)
+        assert r.charge_map().sum() == 0.0
+        assert len(r.gather(np.ones(grid.shape))) == 0
+
+
+class TestDensityMap:
+    def test_density_is_occupancy_ratio(self, grid):
+        # one bin-sized cell exactly on a bin => density 1 in that bin
+        cx, cy = grid.center_of(4, 4)
+        r = CellRasterizer(grid, np.array([cx]), np.array([cy]),
+                           np.array([grid.dx]), np.array([grid.dy]), smooth=False)
+        d = r.density_map()
+        assert d[4, 4] == pytest.approx(1.0)
+        assert d.sum() == pytest.approx(1.0)

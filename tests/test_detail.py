@@ -1,0 +1,83 @@
+"""Detailed placement tests: legality preservation and HPWL behavior."""
+
+import numpy as np
+import pytest
+
+from repro.detail import IncrementalWirelength, detailed_place
+from repro.geometry import Grid2D
+from repro.legalize import check_legal, legalize
+from repro.place import GlobalPlacer, GPConfig, initial_placement
+from repro.wirelength import hpwl
+
+
+@pytest.fixture
+def legal_toy(toy300):
+    initial_placement(toy300, 0)
+    GlobalPlacer(toy300, GPConfig(max_iters=150)).run()
+    legalize(toy300)
+    return toy300
+
+
+class TestIncrementalOracle:
+    def test_delta_matches_full_recompute(self, legal_toy):
+        oracle = IncrementalWirelength(legal_toy)
+        mv = np.flatnonzero(legal_toy.movable)
+        cell = int(mv[5])
+        before = hpwl(legal_toy)
+        new_x = legal_toy.x[cell] + 1.0
+        delta = oracle.delta_for_move(cell, new_x, legal_toy.y[cell])
+        legal_toy.x[cell] = new_x
+        assert hpwl(legal_toy) - before == pytest.approx(delta, abs=1e-9)
+
+    def test_move_restores_state(self, legal_toy):
+        oracle = IncrementalWirelength(legal_toy)
+        mv = np.flatnonzero(legal_toy.movable)
+        cell = int(mv[3])
+        x0 = legal_toy.x[cell]
+        oracle.delta_for_move(cell, x0 + 2.0, legal_toy.y[cell])
+        assert legal_toy.x[cell] == x0
+
+    def test_swap_delta_matches(self, legal_toy):
+        oracle = IncrementalWirelength(legal_toy)
+        mv = np.flatnonzero(legal_toy.movable)
+        a, b = int(mv[1]), int(mv[2])
+        before = hpwl(legal_toy)
+        delta = oracle.delta_for_swap(a, b)
+        legal_toy.x[a], legal_toy.x[b] = legal_toy.x[b], legal_toy.x[a]
+        legal_toy.y[a], legal_toy.y[b] = legal_toy.y[b], legal_toy.y[a]
+        assert hpwl(legal_toy) - before == pytest.approx(delta, abs=1e-9)
+
+
+class TestDetailedPlace:
+    def test_hpwl_never_increases(self, legal_toy):
+        before = hpwl(legal_toy)
+        stats = detailed_place(legal_toy, passes=2)
+        assert stats.hpwl_after <= before + 1e-9
+        assert stats.improvement >= -1e-9
+
+    def test_preserves_legality(self, legal_toy):
+        detailed_place(legal_toy, passes=2)
+        assert check_legal(legal_toy) == []
+
+    def test_congestion_veto_blocks_moves(self, legal_toy):
+        grid = Grid2D(legal_toy.die, 16, 16)
+        blocked = np.full(grid.shape, 10.0)  # everything congested
+        stats = detailed_place(
+            legal_toy, passes=1, grid=grid, congestion=blocked
+        )
+        assert stats.shifts_applied == 0
+        assert stats.swaps_applied == 0
+
+    def test_zero_congestion_equals_plain(self, legal_toy):
+        nl2 = legal_toy.copy()
+        grid = Grid2D(legal_toy.die, 16, 16)
+        s1 = detailed_place(legal_toy, passes=1)
+        s2 = detailed_place(nl2, passes=1, grid=grid, congestion=np.zeros(grid.shape))
+        assert s1.shifts_applied == s2.shifts_applied
+        assert s1.hpwl_after == pytest.approx(s2.hpwl_after)
+
+    def test_moves_counted(self, legal_toy):
+        stats = detailed_place(legal_toy, passes=2)
+        assert stats.passes == 2
+        assert stats.shifts_applied >= 0
+        assert stats.swaps_applied >= 0

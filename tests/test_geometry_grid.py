@@ -1,0 +1,92 @@
+"""Unit tests for repro.geometry.grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Grid2D, Rect
+
+
+class TestConstruction:
+    def test_dims_and_pitch(self, grid16):
+        assert grid16.shape == (16, 16)
+        assert grid16.dx == pytest.approx(0.5)
+        assert grid16.dy == pytest.approx(0.5)
+        assert grid16.bin_area == pytest.approx(0.25)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Grid2D(Rect(0, 0, 1, 1), 0, 4)
+        with pytest.raises(ValueError):
+            Grid2D(Rect(0, 0, 1, 1), 4, -1)
+
+    def test_zero_area_region(self):
+        with pytest.raises(ValueError):
+            Grid2D(Rect(0, 0, 0, 1), 4, 4)
+
+
+class TestIndexing:
+    def test_scalar_index(self, grid16):
+        assert grid16.index_of(0.25, 0.25) == (0, 0)
+        assert grid16.index_of(7.75, 7.75) == (15, 15)
+
+    def test_clamping_outside(self, grid16):
+        assert grid16.index_of(-5.0, 100.0) == (0, 15)
+
+    def test_boundary_point_clamps_to_last_bin(self, grid16):
+        assert grid16.index_of(8.0, 8.0) == (15, 15)
+
+    def test_array_index(self, grid16):
+        i, j = grid16.index_of(np.array([0.1, 4.0]), np.array([0.1, 4.0]))
+        assert list(i) == [0, 8]
+        assert list(j) == [0, 8]
+
+    def test_bin_rect_roundtrip(self, grid16):
+        r = grid16.bin_rect(3, 7)
+        cx, cy = r.center
+        assert grid16.index_of(cx, cy) == (3, 7)
+
+    def test_center_of(self, grid16):
+        cx, cy = grid16.center_of(0, 0)
+        assert (cx, cy) == (pytest.approx(0.25), pytest.approx(0.25))
+
+    def test_centers_meshgrid(self, grid16):
+        X, Y = grid16.centers()
+        assert X.shape == grid16.shape
+        assert X[1, 0] - X[0, 0] == pytest.approx(grid16.dx)
+        assert Y[0, 1] - Y[0, 0] == pytest.approx(grid16.dy)
+
+
+class TestSampling:
+    def test_value_at_nearest(self, grid16):
+        m = grid16.zeros()
+        m[3, 7] = 5.0
+        cx, cy = grid16.center_of(3, 7)
+        assert grid16.value_at(m, cx, cy) == 5.0
+        assert grid16.value_at(m, cx + grid16.dx, cy) == 0.0
+
+    def test_value_at_shape_mismatch(self, grid16):
+        with pytest.raises(ValueError):
+            grid16.value_at(np.zeros((3, 3)), 1.0, 1.0)
+
+    def test_bilinear_matches_nearest_at_centers(self, grid16, rng):
+        m = rng.random(grid16.shape)
+        X, Y = grid16.centers()
+        v = grid16.bilinear_at(m, X.ravel(), Y.ravel())
+        assert np.allclose(v, m.ravel())
+
+    def test_bilinear_interpolates_midpoint(self, grid16):
+        m = grid16.zeros()
+        m[0, 0] = 0.0
+        m[1, 0] = 2.0
+        x0, y0 = grid16.center_of(0, 0)
+        v = grid16.bilinear_at(m, x0 + grid16.dx / 2, y0)
+        assert v == pytest.approx(1.0)
+
+    @given(st.floats(-2, 10), st.floats(-2, 10))
+    def test_bilinear_never_exceeds_map_range(self, x, y):
+        g = Grid2D(Rect(0, 0, 8, 8), 16, 16)
+        m = np.arange(256, dtype=float).reshape(16, 16)
+        v = g.bilinear_at(m, x, y)
+        assert m.min() - 1e-9 <= v <= m.max() + 1e-9

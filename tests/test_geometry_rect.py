@@ -1,0 +1,104 @@
+"""Unit tests for repro.geometry.rect."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+def rects():
+    return st.builds(
+        lambda x, y, w, h: Rect(x, y, x + abs(w), y + abs(h)),
+        finite,
+        finite,
+        st.floats(0, 1e3),
+        st.floats(0, 1e3),
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        r = Rect(1, 2, 4, 8)
+        assert r.width == 3
+        assert r.height == 6
+        assert r.area == 18
+        assert r.center == (2.5, 5.0)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 1, 1, 0)
+
+    def test_zero_area_allowed(self):
+        r = Rect(1, 1, 1, 1)
+        assert r.area == 0
+
+    def test_from_center(self):
+        r = Rect.from_center(5, 5, 2, 4)
+        assert (r.xlo, r.ylo, r.xhi, r.yhi) == (4, 3, 6, 7)
+
+
+class TestContains:
+    def test_interior_and_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains(1, 1)
+        assert r.contains(0, 0)
+        assert r.contains(2, 2)
+        assert not r.contains(2.01, 1)
+        assert not r.contains(1, -0.01)
+
+
+class TestIntersection:
+    def test_overlapping(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 3, 3)
+        inter = a.intersection(b)
+        assert inter == Rect(1, 1, 2, 2)
+        assert a.overlap_area(b) == pytest.approx(1.0)
+        assert a.intersects(b)
+
+    def test_touching_edges_do_not_intersect(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(1, 0, 2, 1)
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+        assert a.overlap_area(b) == 0.0
+
+    def test_disjoint(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(5, 5, 6, 6)
+        assert a.intersection(b) is None
+        assert a.overlap_area(b) == 0.0
+
+    @given(rects(), rects())
+    def test_overlap_symmetric_and_bounded(self, a, b):
+        ab = a.overlap_area(b)
+        assert ab == pytest.approx(b.overlap_area(a))
+        assert 0.0 <= ab <= min(a.area, b.area) + 1e-6
+
+    @given(rects())
+    def test_self_overlap_is_area(self, r):
+        assert r.overlap_area(r) == pytest.approx(r.area)
+
+
+class TestTransforms:
+    def test_expanded_by_ten_percent(self):
+        r = Rect(0, 0, 10, 20)
+        e = r.expanded(0.1)
+        assert e.width == pytest.approx(12)
+        assert e.height == pytest.approx(24)
+        assert e.center == pytest.approx(r.center)
+
+    def test_translated(self):
+        r = Rect(0, 0, 1, 1).translated(3, -2)
+        assert (r.xlo, r.ylo) == (3, -2)
+
+    @given(rects(), st.floats(0, 1))
+    def test_expanded_contains_original(self, r, f):
+        e = r.expanded(f)
+        assert e.xlo <= r.xlo and e.xhi >= r.xhi
+        assert e.ylo <= r.ylo and e.yhi >= r.yhi

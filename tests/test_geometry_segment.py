@@ -1,0 +1,77 @@
+"""Unit tests for repro.geometry.segment (Eq. 6-7 helpers and normals)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import sample_segment, segment_length, unit_normal
+
+pts = st.tuples(st.floats(-100, 100), st.floats(-100, 100))
+
+
+class TestLength:
+    def test_pythagoras(self):
+        assert segment_length((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_zero(self):
+        assert segment_length((1, 1), (1, 1)) == 0.0
+
+
+class TestSampling:
+    def test_eq7_positions(self):
+        # k interior points at fractions i/(k+1)
+        s = sample_segment((0, 0), (10, 0), 4)
+        assert s.shape == (4, 2)
+        assert np.allclose(s[:, 0], [2, 4, 6, 8])
+        assert np.allclose(s[:, 1], 0)
+
+    def test_k_zero_empty(self):
+        assert sample_segment((0, 0), (1, 1), 0).shape == (0, 2)
+
+    def test_negative_k_empty(self):
+        assert sample_segment((0, 0), (1, 1), -3).shape == (0, 2)
+
+    @given(pts, pts, st.integers(1, 50))
+    def test_samples_strictly_interior(self, p1, p2, k):
+        s = sample_segment(p1, p2, k)
+        assert len(s) == k
+        # every sample on the segment: param t in (0, 1)
+        for x, y in s:
+            tx = np.clip((x - p1[0]) / (p2[0] - p1[0]), 0, 1) if p2[0] != p1[0] else None
+            assert min(p1[0], p2[0]) - 1e-9 <= x <= max(p1[0], p2[0]) + 1e-9
+            assert min(p1[1], p2[1]) - 1e-9 <= y <= max(p1[1], p2[1]) + 1e-9
+
+
+class TestNormal:
+    def test_perpendicular(self):
+        n = unit_normal((0, 0), (2, 0))
+        assert abs(n[0]) < 1e-12
+        assert abs(abs(n[1]) - 1.0) < 1e-12
+
+    def test_oriented_toward(self):
+        n = unit_normal((0, 0), (2, 0), toward=(0.0, -3.0))
+        assert n == (0.0, -1.0)
+        n = unit_normal((0, 0), (2, 0), toward=(0.0, 3.0))
+        assert n == (0.0, 1.0)
+
+    def test_degenerate_segment_uses_toward(self):
+        n = unit_normal((1, 1), (1, 1), toward=(3.0, 4.0))
+        assert n == pytest.approx((0.6, 0.8))
+
+    def test_fully_degenerate(self):
+        assert unit_normal((1, 1), (1, 1)) == (0.0, 0.0)
+        assert unit_normal((1, 1), (1, 1), toward=(0.0, 0.0)) == (0.0, 0.0)
+
+    @given(pts, pts)
+    def test_unit_length_and_perpendicular(self, p1, p2):
+        if p1 == p2:
+            return
+        if segment_length(p1, p2) < 1e-6:
+            return
+        n = unit_normal(p1, p2)
+        assert math.hypot(*n) == pytest.approx(1.0)
+        dx, dy = p2[0] - p1[0], p2[1] - p1[1]
+        assert abs(n[0] * dx + n[1] * dy) < 1e-6 * math.hypot(dx, dy)

@@ -1,0 +1,142 @@
+"""Unit tests for the netlist hypergraph container."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.netlist import (
+    CellSpec,
+    Netlist,
+    NetSpec,
+    PinSpec,
+    compute_stats,
+    validate_netlist,
+)
+
+
+class TestConstruction:
+    def test_sizes(self, tiny_netlist):
+        nl = tiny_netlist
+        assert nl.n_cells == 4
+        assert nl.n_nets == 2
+        assert nl.n_pins == 5
+
+    def test_duplicate_cell_names_rejected(self):
+        cells = [CellSpec("a", 1, 1), CellSpec("a", 1, 1)]
+        with pytest.raises(ValueError, match="duplicate"):
+            Netlist.from_specs("d", Rect(0, 0, 5, 5), cells, [])
+
+    def test_unknown_cell_in_net_rejected(self):
+        cells = [CellSpec("a", 1, 1)]
+        nets = [NetSpec("n", [PinSpec("ghost")])]
+        with pytest.raises(ValueError, match="unknown cell"):
+            Netlist.from_specs("d", Rect(0, 0, 5, 5), cells, nets)
+
+    def test_validates_clean(self, tiny_netlist):
+        validate_netlist(tiny_netlist)
+
+    def test_movable_mask(self, tiny_netlist):
+        assert list(tiny_netlist.movable) == [True, True, True, False]
+
+    def test_cell_area(self, tiny_netlist):
+        assert tiny_netlist.cell_area[2] == pytest.approx(2.0)
+
+
+class TestConnectivity:
+    def test_net_pins_roundtrip(self, tiny_netlist):
+        nl = tiny_netlist
+        for e in range(nl.n_nets):
+            for p in nl.net_pins(e):
+                assert nl.pin_net[p] == e
+
+    def test_cell_pins_roundtrip(self, tiny_netlist):
+        nl = tiny_netlist
+        for c in range(nl.n_cells):
+            for p in nl.cell_pins(c):
+                assert nl.pin_cell[p] == c
+
+    def test_degrees(self, tiny_netlist):
+        assert list(tiny_netlist.net_degrees()) == [2, 3]
+        assert list(tiny_netlist.cell_pin_counts()) == [2, 2, 1, 0]
+
+    def test_pin_positions_follow_cells(self, tiny_netlist):
+        nl = tiny_netlist
+        px, py = nl.pin_positions()
+        assert px[0] == pytest.approx(nl.x[0] + 0.1)
+        nl.x[0] += 5.0
+        px2, _ = nl.pin_positions()
+        assert px2[0] == pytest.approx(px[0] + 5.0)
+
+
+class TestMutation:
+    def test_set_positions_preserves_identity(self, tiny_netlist):
+        nl = tiny_netlist
+        xref = nl.x
+        nl.set_positions(nl.x + 1, nl.y + 1)
+        assert nl.x is xref
+
+    def test_clamp_to_die(self, tiny_netlist):
+        nl = tiny_netlist
+        nl.x[0] = -100.0
+        nl.y[0] = 100.0
+        nl.clamp_to_die()
+        assert nl.x[0] == pytest.approx(nl.die.xlo + nl.cell_width[0] / 2)
+        assert nl.y[0] == pytest.approx(nl.die.yhi - nl.cell_height[0] / 2)
+
+    def test_clamp_does_not_move_fixed(self, tiny_netlist):
+        nl = tiny_netlist
+        nl.x[3] = -50.0  # fixed cell deliberately outside
+        nl.clamp_to_die()
+        assert nl.x[3] == -50.0
+
+    def test_copy_isolates_positions(self, tiny_netlist):
+        nl = tiny_netlist
+        cp = nl.copy()
+        cp.x[0] += 10
+        assert nl.x[0] != cp.x[0]
+        # topology shared
+        assert cp.pin_cell is nl.pin_cell
+
+
+class TestValidate:
+    def test_catches_bad_pin_index(self, tiny_netlist):
+        nl = tiny_netlist.copy()
+        bad = nl.pin_cell.copy()
+        bad[0] = 99
+        nl.pin_cell = bad
+        with pytest.raises(ValueError):
+            validate_netlist(nl)
+
+    def test_catches_nonpositive_size(self, tiny_netlist):
+        nl = tiny_netlist.copy()
+        w = nl.cell_width.copy()
+        w[0] = 0.0
+        nl.cell_width = w
+        with pytest.raises(ValueError, match="positive"):
+            validate_netlist(nl)
+
+    def test_inside_die_check(self, tiny_netlist):
+        nl = tiny_netlist.copy()
+        nl.x[0] = -100
+        with pytest.raises(ValueError, match="outside"):
+            validate_netlist(nl, require_inside_die=True)
+
+
+class TestStats:
+    def test_basic_stats(self, tiny_netlist):
+        s = compute_stats(tiny_netlist)
+        assert s.n_cells == 4
+        assert s.n_movable == 3
+        assert s.n_macros == 1
+        assert s.n_two_pin_nets == 1
+        assert s.avg_net_degree == pytest.approx(2.5)
+        assert s.avg_pins_per_cell == pytest.approx(5 / 4)
+
+    def test_utilization_excludes_fixed(self, tiny_netlist):
+        s = compute_stats(tiny_netlist)
+        # movable area 4, free area = 100 - 4 (fixed macro)
+        assert s.utilization == pytest.approx(4.0 / 96.0)
+
+    def test_as_dict_keys(self, tiny_netlist):
+        d = compute_stats(tiny_netlist).as_dict()
+        assert {"cells", "nets", "pins", "utilization"} <= set(d)

@@ -1,0 +1,94 @@
+"""Net decomposition (MST) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.route import decompose_net, decompose_netlist
+from repro.route.decompose import mst_edges
+
+
+class TestMST:
+    def test_two_points(self):
+        edges = mst_edges(np.array([0.0, 3.0]), np.array([0.0, 0.0]))
+        assert edges == [(0, 1)]
+
+    def test_single_point(self):
+        assert mst_edges(np.array([1.0]), np.array([1.0])) == []
+
+    def test_collinear_chain(self):
+        xs = np.array([0.0, 1.0, 2.0, 3.0])
+        ys = np.zeros(4)
+        edges = mst_edges(xs, ys)
+        total = sum(abs(xs[a] - xs[b]) for a, b in edges)
+        assert total == pytest.approx(3.0)
+
+    def test_duplicate_points_zero_edges(self):
+        xs = np.array([1.0, 1.0, 5.0])
+        ys = np.array([2.0, 2.0, 2.0])
+        edges = mst_edges(xs, ys)
+        lengths = sorted(abs(xs[a] - xs[b]) + abs(ys[a] - ys[b]) for a, b in edges)
+        assert lengths == [0.0, 4.0]
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)),
+            min_size=2,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_spanning_tree_properties(self, pts):
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        edges = mst_edges(xs, ys)
+        assert len(edges) == len(pts) - 1
+        # connectivity via union-find
+        parent = list(range(len(pts)))
+
+        def find(a):
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        for a, b in edges:
+            parent[find(a)] = find(b)
+        assert len({find(i) for i in range(len(pts))}) == 1
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)),
+            min_size=2,
+            max_size=8,
+            unique=True,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mst_no_longer_than_star(self, pts):
+        xs = np.array([float(p[0]) for p in pts])
+        ys = np.array([float(p[1]) for p in pts])
+        edges = mst_edges(xs, ys)
+        mst_len = sum(abs(xs[a] - xs[b]) + abs(ys[a] - ys[b]) for a, b in edges)
+        star_len = sum(abs(xs[0] - xs[i]) + abs(ys[0] - ys[i]) for i in range(1, len(pts)))
+        assert mst_len <= star_len + 1e-9
+
+
+class TestDecompose:
+    def test_two_pin_net_single_segment(self, tiny_netlist):
+        px, py = tiny_netlist.pin_positions()
+        segs = decompose_net(tiny_netlist, 0, px, py)
+        assert len(segs) == 1
+
+    def test_three_pin_net_two_segments(self, tiny_netlist):
+        px, py = tiny_netlist.pin_positions()
+        segs = decompose_net(tiny_netlist, 1, px, py)
+        assert len(segs) == 2
+
+    def test_whole_netlist(self, toy120):
+        all_segs = decompose_netlist(toy120)
+        assert len(all_segs) == toy120.n_nets
+        degrees = toy120.net_degrees()
+        for e, segs in enumerate(all_segs):
+            assert len(segs) == max(degrees[e] - 1, 0)

@@ -1,0 +1,31 @@
+"""End-to-end harness test over a tiny suite subset."""
+
+import pytest
+
+from repro.bench.harness import run_suite, table_rows
+from repro.core import RDConfig
+from repro.evalrt import EvalConfig, format_table, ratio_row
+from repro.place import GPConfig
+from repro.route import RouterConfig
+
+
+@pytest.mark.parametrize("names", [["fft_1", "fft_2"]])
+def test_run_suite_small(names):
+    gp = GPConfig(max_iters=150)
+    outcomes = run_suite(
+        names=names,
+        scale=0.25,
+        gp_config=gp,
+        rd_config=RDConfig(gp=gp, max_rounds=2, iters_per_round=10),
+        eval_config=EvalConfig(grid_dim_factor=1, router=RouterConfig(rrr_rounds=1)),
+    )
+    assert [o.design for o in outcomes] == names
+    rows = table_rows(outcomes)
+    assert len(rows) == 3 * len(names)
+
+    text = format_table(rows, reference_placer="Ours")
+    assert "Avg. Ratio" in text
+    ratios = ratio_row(rows, "Ours")
+    for placer in ("Xplace", "Xplace-Route", "Ours"):
+        for key in ("DRWL", "#DRVias", "#DRVs", "PT", "RT"):
+            assert ratios[placer][key] == ratios[placer][key]  # not NaN

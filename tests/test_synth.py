@@ -1,0 +1,113 @@
+"""Synthetic design generator and suite tests."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import compute_stats, validate_netlist
+from repro.synth import SUITE, SynthConfig, generate_design, suite_design, suite_names, toy_design
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_design(SynthConfig(name="x", n_cells=150, seed=3))
+        b = generate_design(SynthConfig(name="x", n_cells=150, seed=3))
+        assert np.array_equal(a.x, b.x)
+        assert a.net_names == b.net_names
+        assert np.array_equal(a.pin_offset_x, b.pin_offset_x)
+
+    def test_name_changes_design(self):
+        a = generate_design(SynthConfig(name="x", n_cells=150))
+        b = generate_design(SynthConfig(name="y", n_cells=150))
+        assert not np.array_equal(a.x, b.x)
+
+    def test_structure_valid(self, toy120):
+        validate_netlist(toy120)
+
+    def test_counts(self, toy120):
+        s = compute_stats(toy120)
+        assert s.n_cells >= 120  # cells + macros + IO pads
+        assert s.n_macros == 1
+        assert s.n_nets > 120
+
+    def test_utilization_near_target(self):
+        cfg = SynthConfig(name="u", n_cells=800, utilization=0.7, n_macros=0)
+        s = compute_stats(generate_design(cfg))
+        assert s.utilization == pytest.approx(0.7, rel=0.15)
+
+    def test_macros_fixed_and_disjoint(self):
+        nl = generate_design(SynthConfig(name="m", n_cells=400, n_macros=4))
+        ids = np.flatnonzero(nl.cell_macro)
+        assert nl.cell_fixed[ids].all()
+        rects = [nl.cell_rect(i) for i in ids]
+        for a in range(len(rects)):
+            for b in range(a + 1, len(rects)):
+                assert not rects[a].intersects(rects[b])
+
+    def test_io_pads_on_periphery(self, toy120):
+        nl = toy120
+        for i in range(nl.n_cells):
+            if nl.cell_names[i].startswith("io"):
+                on_edge = (
+                    nl.x[i] < nl.die.xlo + 1
+                    or nl.x[i] > nl.die.xhi - 1
+                    or nl.y[i] < nl.die.ylo + 1
+                    or nl.y[i] > nl.die.yhi - 1
+                )
+                assert on_edge
+
+    def test_pg_rails_exist_and_horizontal(self, toy120):
+        assert len(toy120.pg_rails) > 3
+        assert all(r.horizontal for r in toy120.pg_rails)
+        for r in toy120.pg_rails:
+            assert r.rect.xlo == pytest.approx(toy120.die.xlo)
+            assert r.rect.xhi == pytest.approx(toy120.die.xhi)
+
+    def test_vertical_rails_option(self):
+        nl = generate_design(
+            SynthConfig(name="v", n_cells=200, pg_vertical_pitch=5.0)
+        )
+        assert any(not r.horizontal for r in nl.pg_rails)
+
+    def test_bundles_are_two_pin(self):
+        nl = generate_design(SynthConfig(name="b", n_cells=300, bundle_fraction=0.2))
+        bundles = [e for e, n in enumerate(nl.net_names) if n.startswith("bundle")]
+        assert bundles
+        degrees = nl.net_degrees()
+        assert all(degrees[e] == 2 for e in bundles)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SynthConfig(n_cells=2)
+        with pytest.raises(ValueError):
+            SynthConfig(utilization=1.5)
+        with pytest.raises(ValueError):
+            SynthConfig(cluster_affinity=1.5)
+
+
+class TestSuite:
+    def test_twenty_designs(self):
+        assert len(suite_names()) == 20
+        assert suite_names()[0] == "des_perf_1"
+        assert "superblue12" in suite_names()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            suite_design("nonexistent")
+
+    def test_scale(self):
+        full = suite_design("fft_1", scale=1.0)
+        half = suite_design("fft_1", scale=0.5)
+        assert half.n_cells < full.n_cells
+
+    def test_fence_metadata(self):
+        assert SUITE["des_perf_a"].fence_removed
+        assert not SUITE["fft_1"].fence_removed
+
+    @pytest.mark.parametrize("name", ["fft_1", "pci_bridge32_b", "des_perf_b"])
+    def test_small_designs_valid(self, name):
+        nl = suite_design(name, scale=0.3)
+        validate_netlist(nl)
+
+    def test_toy_overrides(self):
+        nl = toy_design(80, n_macros=0, utilization=0.5)
+        assert compute_stats(nl).n_macros == 0

@@ -1,0 +1,133 @@
+"""Tests for HPWL and the WA smooth wirelength model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.netlist import CellSpec, Netlist, NetSpec, PinSpec
+from repro.wirelength import WAWirelength, hpwl, hpwl_per_net, wa_wirelength_and_grad
+
+
+def _line_netlist(xs, ys=None):
+    """One net connecting point cells at the given coordinates."""
+    ys = ys if ys is not None else [0.0] * len(xs)
+    cells = [CellSpec(f"c{i}", 0.2, 0.2, x=x, y=y) for i, (x, y) in enumerate(zip(xs, ys))]
+    net = NetSpec("n", [PinSpec(f"c{i}") for i in range(len(xs))])
+    return Netlist.from_specs("line", Rect(-100, -100, 100, 100), cells, [net])
+
+
+class TestHPWL:
+    def test_two_pin(self):
+        nl = _line_netlist([0.0, 3.0], [0.0, 4.0])
+        assert hpwl(nl) == pytest.approx(7.0)
+
+    def test_multi_pin_is_bbox(self):
+        nl = _line_netlist([0, 5, 2], [1, -1, 4])
+        assert hpwl(nl) == pytest.approx(5 + 5)
+
+    def test_single_pin_zero(self):
+        cells = [CellSpec("a", 1, 1), CellSpec("b", 1, 1)]
+        nets = [NetSpec("n", [PinSpec("a")])]
+        nl = Netlist.from_specs("d", Rect(0, 0, 10, 10), cells, nets)
+        assert hpwl(nl) == 0.0
+
+    def test_net_weights(self, tiny_netlist):
+        base = hpwl_per_net(tiny_netlist)
+        w = np.array([2.0, 0.5])
+        weighted = hpwl_per_net(tiny_netlist, w)
+        assert np.allclose(weighted, base * w)
+
+    def test_pin_offsets_matter(self):
+        cells = [CellSpec("a", 1, 1, x=0), CellSpec("b", 1, 1, x=4)]
+        nets = [NetSpec("n", [PinSpec("a", 0.3, 0), PinSpec("b", -0.3, 0)])]
+        nl = Netlist.from_specs("d", Rect(-10, -10, 10, 10), cells, nets)
+        assert hpwl(nl) == pytest.approx(4 - 0.6)
+
+
+class TestWAValue:
+    def test_upper_bound_of_hpwl(self):
+        # WA underestimates per axis; |WA - HPWL| <= O(gamma)
+        nl = _line_netlist([0, 1, 5, 9], [0, 2, -3, 1])
+        exact = hpwl(nl)
+        for gamma in (4.0, 1.0, 0.1):
+            wl, _, _ = wa_wirelength_and_grad(nl, gamma)
+            assert wl <= exact + 1e-9
+        wl, _, _ = wa_wirelength_and_grad(nl, 0.01)
+        assert wl == pytest.approx(exact, rel=1e-3)
+
+    def test_invalid_gamma(self, tiny_netlist):
+        with pytest.raises(ValueError):
+            wa_wirelength_and_grad(tiny_netlist, 0.0)
+
+    def test_large_coordinates_stable(self):
+        nl = _line_netlist([1e5, 1e5 + 3], [0, 0])
+        wl, gx, gy = wa_wirelength_and_grad(nl, 0.5)
+        assert np.isfinite(wl)
+        assert np.isfinite(gx).all()
+        assert wl == pytest.approx(3.0, abs=0.5)
+
+    @given(st.lists(st.floats(-50, 50), min_size=2, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_wa_below_hpwl_property(self, xs):
+        nl = _line_netlist(xs)
+        wl, _, _ = wa_wirelength_and_grad(nl, 1.0)
+        assert wl <= hpwl(nl) + 1e-6
+
+
+class TestWAGradient:
+    def _fd_check(self, nl, gamma, eps=1e-5):
+        _, gx, gy = wa_wirelength_and_grad(nl, gamma)
+        for i in range(nl.n_cells):
+            if nl.cell_fixed[i]:
+                continue
+            for arr, g in ((nl.x, gx), (nl.y, gy)):
+                orig = arr[i]
+                arr[i] = orig + eps
+                up, _, _ = wa_wirelength_and_grad(nl, gamma)
+                arr[i] = orig - eps
+                dn, _, _ = wa_wirelength_and_grad(nl, gamma)
+                arr[i] = orig
+                fd = (up - dn) / (2 * eps)
+                assert g[i] == pytest.approx(fd, rel=1e-4, abs=1e-7)
+
+    def test_gradient_matches_finite_difference(self):
+        nl = _line_netlist([0, 1.7, 5.2, 8.9], [0.3, 2.1, -3.3, 1.4])
+        self._fd_check(nl, gamma=1.3)
+
+    def test_gradient_multi_net(self, tiny_netlist):
+        self._fd_check(tiny_netlist, gamma=0.8)
+
+    def test_fixed_cells_zero_gradient(self, tiny_netlist):
+        _, gx, gy = wa_wirelength_and_grad(tiny_netlist, 1.0)
+        assert gx[3] == 0.0 and gy[3] == 0.0
+
+    def test_translation_invariance(self):
+        nl = _line_netlist([0, 2, 7])
+        wl1, gx1, _ = wa_wirelength_and_grad(nl, 1.0)
+        nl.x += 13.0
+        wl2, gx2, _ = wa_wirelength_and_grad(nl, 1.0)
+        assert wl1 == pytest.approx(wl2)
+        assert np.allclose(gx1, gx2)
+
+    def test_gradient_sums_to_zero_per_axis(self):
+        # internal forces: moving the whole net does not change WA
+        nl = _line_netlist([0, 2, 7], [1, 5, -2])
+        _, gx, gy = wa_wirelength_and_grad(nl, 1.0)
+        assert gx.sum() == pytest.approx(0.0, abs=1e-10)
+        assert gy.sum() == pytest.approx(0.0, abs=1e-10)
+
+
+class TestGammaSchedule:
+    def test_gamma_shrinks_with_overflow(self):
+        wa = WAWirelength(base_unit=1.0)
+        hi = wa.update_gamma(1.0)
+        lo = wa.update_gamma(0.0)
+        assert lo < hi
+
+    def test_callable_interface(self, tiny_netlist):
+        wa = WAWirelength(base_unit=0.5)
+        wl, gx, gy = wa(tiny_netlist)
+        assert wl > 0
+        assert gx.shape == (tiny_netlist.n_cells,)

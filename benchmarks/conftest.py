@@ -13,7 +13,6 @@ import pytest
 from repro.core import RDConfig
 from repro.evalrt import EvalConfig
 from repro.place import GPConfig
-from repro.route import RouterConfig
 
 
 BENCH_SCALE = 0.5  # fraction of full suite cell counts

@@ -15,7 +15,6 @@ import pytest
 from conftest import run_once
 
 from repro.core import CongestionField, InflationConfig, MomentumInflation, NetMoveConfig, two_pin_net_gradients
-from repro.geometry import Grid2D
 from repro.place import GlobalPlacer, GPConfig, initial_placement
 from repro.route import GlobalRouter, RouterConfig
 from repro.synth import suite_design

@@ -14,7 +14,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import run_once
 
 from repro.core.netmove import virtual_cell_positions

@@ -12,7 +12,6 @@ from __future__ import annotations
 from conftest import BENCH_SCALE, run_once
 
 from repro.core import RDConfig, RoutabilityDrivenPlacer
-from repro.place import GPConfig
 from repro.synth import suite_design
 
 

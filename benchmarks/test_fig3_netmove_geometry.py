@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 from conftest import run_once
 
-from repro.core import CongestionField, NetMoveConfig, two_pin_net_gradients
+from repro.core import CongestionField, two_pin_net_gradients
 from repro.core.netmove import virtual_cell_positions
 from repro.geometry import Grid2D, Rect
 from repro.netlist import CellSpec, Netlist, NetSpec, PinSpec

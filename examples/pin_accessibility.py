@@ -8,13 +8,11 @@ pin-access violation counts from the evaluator's model.
 Run:  python examples/pin_accessibility.py
 """
 
-import numpy as np
-
 from repro.baselines import ablation_config, make_gp_seed, run_flow
 from repro.core import RDConfig, select_pg_rails
 from repro.evalrt import EvalConfig
 from repro.evalrt.evaluator import evaluation_grid
-from repro.evalrt.pinaccess import pin_access_violations, pins_under_rails
+from repro.evalrt.pinaccess import pin_access_violations
 from repro.place import GPConfig
 from repro.route import GlobalRouter
 from repro.synth import suite_design

@@ -9,8 +9,6 @@ placement.
 Run:  python examples/routability_flow.py
 """
 
-import numpy as np
-
 from repro.core import RDConfig, RoutabilityDrivenPlacer
 from repro.detail import detailed_place
 from repro.legalize import check_legal, legalize

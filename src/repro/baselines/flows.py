@@ -6,17 +6,16 @@ placement wall time (the PT column of Table I).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-
-import numpy as np
+from dataclasses import dataclass, field, replace
 
 from repro.core.rd_placer import RDConfig, RDResult, RoutabilityDrivenPlacer
 from repro.detail.refine import DetailStats, detailed_place
 from repro.legalize.api import LegalizeStats, legalize
 from repro.netlist.netlist import Netlist
 from repro.place.config import GPConfig
-from repro.place.global_placer import GlobalPlacer, converge_placement
+from repro.place.global_placer import converge_placement
 from repro.place.initial import initial_placement
+from repro.utils.profile import StageProfiler
 from repro.utils.timer import Timer
 
 
@@ -30,6 +29,7 @@ class FlowResult:
     legalize_stats: LegalizeStats
     detail_stats: DetailStats
     rd_result: RDResult | None = None
+    profile: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -66,8 +66,11 @@ def run_xplace(
         seed_gp = make_gp_seed(netlist, gp_config)
     nl = seed_gp.netlist.copy()
     timer = Timer().start()
-    lstats = legalize(nl)
-    dstats = detailed_place(nl, passes=2)
+    profiler = StageProfiler()
+    with profiler.timer("flow.legalize"):
+        lstats = legalize(nl)
+    with profiler.timer("flow.detail"):
+        dstats = detailed_place(nl, passes=2)
     timer.stop()
     return FlowResult(
         name="Xplace",
@@ -75,6 +78,7 @@ def run_xplace(
         placement_time=seed_gp.time + timer.elapsed,
         legalize_stats=lstats,
         detail_stats=dstats,
+        profile=profiler.as_dict(),
     )
 
 
@@ -92,17 +96,20 @@ def run_flow(
     else:
         nl = netlist.copy()
     timer = Timer().start()
-    placer = RoutabilityDrivenPlacer(nl, rd_config)
+    profiler = StageProfiler()
+    placer = RoutabilityDrivenPlacer(nl, rd_config, profiler=profiler)
     rd_result = placer.run(skip_initial_gp=seed_gp is not None)
-    lstats = legalize(nl)
+    with profiler.timer("flow.legalize"):
+        lstats = legalize(nl)
     # congestion-aware detailed placement: do not move cells into the
     # G-cells the final routing pass reports as congested
-    dstats = detailed_place(
-        nl,
-        passes=2,
-        grid=placer.gp.grid,
-        congestion=rd_result.final_routing.congestion_map,
-    )
+    with profiler.timer("flow.detail"):
+        dstats = detailed_place(
+            nl,
+            passes=2,
+            grid=placer.gp.grid,
+            congestion=rd_result.final_routing.congestion_map,
+        )
     timer.stop()
     return FlowResult(
         name=name,
@@ -111,6 +118,7 @@ def run_flow(
         legalize_stats=lstats,
         detail_stats=dstats,
         rd_result=rd_result,
+        profile=profiler.as_dict(),
     )
 
 

@@ -2,16 +2,20 @@
 
 from repro.bench.harness import (
     DesignOutcome,
+    bench_payload,
     run_ablation_on_design,
     run_design,
     run_suite,
     table_rows,
+    write_bench_json,
 )
 
 __all__ = [
     "DesignOutcome",
+    "bench_payload",
     "run_design",
     "run_suite",
     "run_ablation_on_design",
     "table_rows",
+    "write_bench_json",
 ]

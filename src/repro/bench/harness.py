@@ -3,14 +3,20 @@
 The evaluation contract mirrors the paper's: every placer runs from the
 same input netlist, and every resulting placement is scored by the same
 routing-outcome evaluator (same grid, same settings).
+
+Besides the metric rows, every flow carries its per-stage wall-clock
+profile (:mod:`repro.utils.profile`); :func:`bench_payload` /
+:func:`write_bench_json` serialise metrics *and* stage breakdowns so
+``BENCH_*.json`` files track where the time goes, not just how much.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 
 from repro.baselines.flows import (
-    FlowResult,
     ablation_config,
     make_gp_seed,
     run_flow,
@@ -20,7 +26,7 @@ from repro.baselines.flows import (
 )
 from repro.core.rd_placer import RDConfig
 from repro.evalrt.config import EvalConfig
-from repro.evalrt.evaluator import RoutingEvaluation, evaluate_routing, evaluation_grid
+from repro.evalrt.evaluator import evaluate_routing, evaluation_grid
 from repro.evalrt.report import MetricRow
 from repro.netlist.netlist import Netlist
 from repro.place.config import GPConfig
@@ -120,6 +126,33 @@ def table_rows(outcomes: list) -> list:
         for placer in outcome.flows:
             rows.append(outcome.row(placer))
     return rows
+
+
+def bench_payload(outcomes: list, extra: dict | None = None) -> dict:
+    """JSON-ready bench record: metric rows plus per-flow stage profiles."""
+    rows = [
+        {"design": r.design, "placer": r.placer, "metrics": r.metrics}
+        for r in table_rows(outcomes)
+    ]
+    profiles = {
+        outcome.design: {
+            placer: flow.profile for placer, flow in outcome.flows.items()
+        }
+        for outcome in outcomes
+    }
+    payload = {"rows": rows, "profiles": profiles}
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write_bench_json(path: str, outcomes: list, extra: dict | None = None) -> dict:
+    """Write :func:`bench_payload` to ``path`` (parent dirs created)."""
+    payload = bench_payload(outcomes, extra)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+    return payload
 
 
 ABLATION_ROWS = (

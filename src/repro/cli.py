@@ -14,8 +14,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
 
 def _cmd_gen(args: argparse.Namespace) -> int:
     from repro.io import save_design
@@ -39,12 +37,14 @@ def _cmd_place(args: argparse.Namespace) -> int:
     from repro.io import load_design, save_design
     from repro.legalize import check_legal, legalize
     from repro.place import GPConfig, converge_placement, initial_placement
+    from repro.utils.profile import StageProfiler
     from repro.wirelength import hpwl
 
     netlist = load_design(args.input)
     gp = GPConfig(max_iters=args.iters)
+    profiler = StageProfiler()
     if args.routability:
-        placer = RoutabilityDrivenPlacer(netlist, RDConfig(gp=gp))
+        placer = RoutabilityDrivenPlacer(netlist, RDConfig(gp=gp), profiler=profiler)
         result = placer.run()
         print(f"routability rounds: {result.n_rounds} "
               f"(best round {result.best_round})")
@@ -52,16 +52,20 @@ def _cmd_place(args: argparse.Namespace) -> int:
         grid = placer.gp.grid
     else:
         initial_placement(netlist, gp.seed)
-        converge_placement(netlist, gp)
+        converge_placement(netlist, gp, profiler=profiler)
         congestion = None
         grid = None
-    legalize(netlist)
-    detailed_place(netlist, passes=2, grid=grid, congestion=congestion)
+    with profiler.timer("flow.legalize"):
+        legalize(netlist)
+    with profiler.timer("flow.detail"):
+        detailed_place(netlist, passes=2, grid=grid, congestion=congestion)
     issues = check_legal(netlist)
     print(f"hpwl={hpwl(netlist):.0f} legality="
           f"{'CLEAN' if not issues else f'{len(issues)} issues'}")
     save_design(netlist, args.out)
     print(f"wrote {args.out}")
+    if args.profile:
+        print(profiler.report("stage profile (wall-clock)"))
     return 0
 
 
@@ -70,17 +74,22 @@ def _cmd_route(args: argparse.Namespace) -> int:
     from repro.io import load_design
     from repro.place.config import auto_grid_dim
     from repro.route import GlobalRouter, RouterConfig
+    from repro.utils.profile import StageProfiler
 
     netlist = load_design(args.input)
     dim = args.grid or auto_grid_dim(netlist.n_cells)
     grid = Grid2D(netlist.die, dim, dim)
-    result = GlobalRouter(grid, RouterConfig()).route(netlist)
+    profiler = StageProfiler()
+    config = RouterConfig(engine=args.engine)
+    result = GlobalRouter(grid, config, profiler=profiler).route(netlist)
     util = result.utilization_map
     print(f"segments={result.n_segments} wirelength={result.wirelength:.0f} "
           f"vias={result.n_vias:.0f}")
     print(f"utilization mean={util.mean():.3f} max={util.max():.2f} "
           f"overflow={result.total_overflow:.0f} "
           f"congested={(result.congestion_map > 0).mean() * 100:.1f}%")
+    if args.profile:
+        print(profiler.report("stage profile (wall-clock)"))
     return 0
 
 
@@ -135,11 +144,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the full Fig. 2 flow instead of WL-only")
     p.add_argument("--iters", type=int, default=1000)
     p.add_argument("--out", default="placed.bl")
+    p.add_argument("--profile", action="store_true",
+                   help="print the per-stage wall-clock breakdown")
     p.set_defaults(func=_cmd_place)
 
     p = sub.add_parser("route", help="route a placed design")
     p.add_argument("input")
     p.add_argument("--grid", type=int, default=0)
+    p.add_argument("--engine", choices=("batched", "scalar"), default="batched",
+                   help="routing engine (scalar = reference implementation)")
+    p.add_argument("--profile", action="store_true",
+                   help="print the per-stage wall-clock breakdown")
     p.set_defaults(func=_cmd_route)
 
     p = sub.add_parser("eval", help="score a placed design")

@@ -40,6 +40,7 @@ from repro.place.initial import initial_placement
 from repro.route.config import RouterConfig
 from repro.route.router import GlobalRouter, RoutingResult
 from repro.utils.logging import get_logger
+from repro.utils.profile import StageProfiler
 from repro.utils.timer import Timer
 from repro.wirelength.hpwl import hpwl as hpwl_of
 
@@ -121,6 +122,7 @@ class RDResult:
     placement_time: float
     initial_gp_iters: int
     best_round: int = -1
+    profile: dict = field(default_factory=dict)
 
     @property
     def n_rounds(self) -> int:
@@ -133,11 +135,19 @@ class RDResult:
 class RoutabilityDrivenPlacer:
     """Run the Fig. 2 flow on a netlist (positions mutated in place)."""
 
-    def __init__(self, netlist: Netlist, config: RDConfig | None = None) -> None:
+    def __init__(
+        self,
+        netlist: Netlist,
+        config: RDConfig | None = None,
+        profiler: StageProfiler | None = None,
+    ) -> None:
         self.netlist = netlist
         self.config = config or RDConfig()
-        self.gp = GlobalPlacer(netlist, self.config.gp)
-        self.router = GlobalRouter(self.gp.grid, self.config.router)
+        self.profiler = profiler or StageProfiler()
+        self.gp = GlobalPlacer(netlist, self.config.gp, profiler=self.profiler)
+        self.router = GlobalRouter(
+            self.gp.grid, self.config.router, profiler=self.profiler
+        )
         self.inflation = MomentumInflation(netlist.n_cells, self.config.inflation)
         std = netlist.movable & ~netlist.cell_macro
         self.virtual_area = (
@@ -174,8 +184,9 @@ class RoutabilityDrivenPlacer:
         if not skip_initial_gp:
             from repro.place.global_placer import converge_placement
 
-            initial_placement(self.netlist, cfg.gp.seed)
-            converge_placement(self.netlist, cfg.gp)
+            with self.profiler.timer("rd.initial_gp"):
+                initial_placement(self.netlist, cfg.gp.seed)
+                converge_placement(self.netlist, cfg.gp, profiler=self.profiler)
         initial_iters = len(self.gp.history)
 
         rounds: list[RoundRecord] = []
@@ -191,9 +202,11 @@ class RoutabilityDrivenPlacer:
         best_routing: RoutingResult | None = None
         best_round = -1
 
-        routing = self.router.route(self.netlist)
+        with self.profiler.timer("rd.route"):
+            routing = self.router.route(self.netlist)
         hpwl_ref = max(hpwl_of(self.netlist), 1e-12)
         for round_id in range(cfg.max_rounds):
+            self.profiler.count("rd.rounds")
             score = self._routing_score(routing, hpwl_of(self.netlist), hpwl_ref)
             if score < best_score:
                 best_score = score
@@ -208,30 +221,34 @@ class RoutabilityDrivenPlacer:
                 c_map, self.netlist.x, self.netlist.y
             )
             if cfg.inflation_mode == "momentum":
-                rates = self.inflation.update(cell_cong)
-                self.gp.size_scale = np.sqrt(self._budgeted_rates(rates))
+                with self.profiler.timer("rd.inflate"):
+                    rates = self.inflation.update(cell_cong)
+                    self.gp.size_scale = np.sqrt(self._budgeted_rates(rates))
             elif cfg.inflation_mode == "present":
                 # present-congestion-only inflation ([3, 5] style):
                 # the rate follows the current map with no history, so
                 # cells deflate instantly after leaving a hotspot
-                rates = np.clip(
-                    1.0 + cell_cong,
-                    self.config.inflation.r_min,
-                    self.config.inflation.r_max,
-                )
-                self.gp.size_scale = np.sqrt(self._budgeted_rates(rates))
+                with self.profiler.timer("rd.inflate"):
+                    rates = np.clip(
+                        1.0 + cell_cong,
+                        self.config.inflation.r_min,
+                        self.config.inflation.r_max,
+                    )
+                    self.gp.size_scale = np.sqrt(self._budgeted_rates(rates))
 
             if cfg.pg_mode == "dynamic":
-                self.gp.extra_static_charge = pg_density_charge(
-                    self.gp.grid, rail_area, c_map, cfg.pinaccess
-                )
+                with self.profiler.timer("rd.pinaccess"):
+                    self.gp.extra_static_charge = pg_density_charge(
+                        self.gp.grid, rail_area, c_map, cfg.pinaccess
+                    )
 
             if cfg.enable_dc:
                 self.gp.extra_grad_fn = self._make_congestion_grad(fld, c_map)
             else:
                 self.gp.extra_grad_fn = None
 
-            record = self._record_round(round_id, routing, fld, c_map)
+            with self.profiler.timer("rd.record"):
+                record = self._record_round(round_id, routing, fld, c_map)
             rounds.append(record)
             if record.mean_congestion < cfg.stop_mean_congestion:
                 logger.info(
@@ -272,10 +289,13 @@ class RoutabilityDrivenPlacer:
                     break
 
             self.gp.reset_solver()
-            self.gp.run(
-                max_iters=cfg.iters_per_round, min_iters=cfg.iters_per_round
-            )
-            routing = self.router.route(self.netlist)
+            # inclusive of the gp.* stages recorded inside the solver
+            with self.profiler.timer("rd.nesterov"):
+                self.gp.run(
+                    max_iters=cfg.iters_per_round, min_iters=cfg.iters_per_round
+                )
+            with self.profiler.timer("rd.route"):
+                routing = self.router.route(self.netlist)
 
         # the loop's very last routing may beat every checkpoint
         final_score = self._routing_score(routing, hpwl_of(self.netlist), hpwl_ref)
@@ -299,6 +319,7 @@ class RoutabilityDrivenPlacer:
             placement_time=timer.elapsed,
             initial_gp_iters=initial_iters,
             best_round=best_round,
+            profile=self.profiler.as_dict(),
         )
 
     def _budgeted_rates(self, rates: np.ndarray) -> np.ndarray:

@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.geometry.rect import Rect
-from repro.netlist.data import CellSpec, NetSpec, PGRailSpec
 
 
 def _csr_from_groups(group_of_item: np.ndarray, n_groups: int):

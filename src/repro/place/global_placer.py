@@ -33,6 +33,7 @@ from repro.optim.nesterov import NesterovOptimizer
 from repro.place.config import GPConfig, auto_grid_dim
 from repro.place.initial import initial_placement, scatter_fillers
 from repro.utils.logging import get_logger
+from repro.utils.profile import StageProfiler
 from repro.wirelength.hpwl import hpwl
 from repro.wirelength.wa import WAWirelength
 
@@ -69,9 +70,15 @@ class GlobalPlacer:
     # reference relative HPWL growth per iteration for the mu feedback
     _MU_REF_DELTA = 2e-3
 
-    def __init__(self, netlist: Netlist, config: GPConfig | None = None) -> None:
+    def __init__(
+        self,
+        netlist: Netlist,
+        config: GPConfig | None = None,
+        profiler: StageProfiler | None = None,
+    ) -> None:
         self.netlist = netlist
         self.config = config or GPConfig()
+        self.profiler = profiler or StageProfiler()
         cfg = self.config
 
         nx = cfg.grid_nx or auto_grid_dim(netlist.n_cells)
@@ -212,7 +219,8 @@ class GlobalPlacer:
             if self.extra_static_charge is None
             else self.fixed_charge + self.extra_static_charge
         )
-        sol = self.system.solve(*self._entry_geometry())
+        with self.profiler.timer("gp.poisson"):
+            sol = self.system.solve(*self._entry_geometry())
         self.last_solution = sol
         return sol
 
@@ -221,7 +229,8 @@ class GlobalPlacer:
         nl = self.netlist
         n, m = self.n_mv, self.n_fill
 
-        _, wl_gx, wl_gy = self.wa(nl)
+        with self.profiler.timer("gp.wirelength"):
+            _, wl_gx, wl_gy = self.wa(nl)
         self.last_wl_grad_l1 = float(
             np.abs(wl_gx[self.mv_ids]).sum() + np.abs(wl_gy[self.mv_ids]).sum()
         )
@@ -254,7 +263,8 @@ class GlobalPlacer:
         gy[:n] += wl_gy[self.mv_ids]
 
         if self.extra_grad_fn is not None:
-            cgx, cgy = self.extra_grad_fn()
+            with self.profiler.timer("gp.congestion_grad"):
+                cgx, cgy = self.extra_grad_fn()
             gx[:n] += cgx[self.mv_ids]
             gy[:n] += cgy[self.mv_ids]
 
@@ -310,7 +320,9 @@ class GlobalPlacer:
         iters = max_iters if max_iters is not None else cfg.max_iters
 
         for it in range(iters):
-            info = self._optimizer.do_step()
+            # inclusive of gp.wirelength / gp.poisson / gp.congestion_grad
+            with self.profiler.timer("gp.step"):
+                info = self._optimizer.do_step()
             # project both optimizer points back into the die (clamp
             # happens inside _unpack); without projecting the reference
             # point v, the momentum extrapolation diverges when cells
@@ -424,6 +436,7 @@ def converge_placement(
     bursts_per_batch: int = 8,
     burst_iters: int = 50,
     hpwl_tol: float = 0.01,
+    profiler: StageProfiler | None = None,
 ) -> int:
     """Drive a wirelength-driven GP to its practical fixed point.
 
@@ -443,7 +456,7 @@ def converge_placement(
     prev: float | None = None
     total = 0
     for batch in range(max_batches):
-        placer = GlobalPlacer(netlist, cfg)
+        placer = GlobalPlacer(netlist, cfg, profiler=profiler)
         if batch == 0:
             placer.run()
         placer.run_bursts(bursts_per_batch, burst_iters)

@@ -12,7 +12,8 @@ classic RUDY estimator as a cheap baseline.
 
 from repro.route.config import RouterConfig
 from repro.route.grid import RoutingGrid
-from repro.route.decompose import decompose_net, decompose_netlist
+from repro.route.decompose import decompose_net, decompose_netlist, segment_endpoints
+from repro.route.patterns import PatternRouter, RoutedPath, RoutedPathBatch
 from repro.route.router import GlobalRouter, RoutingResult
 from repro.route.congestion import CongestionData, congestion_from_demand
 from repro.route.maze import maze_route
@@ -24,6 +25,10 @@ __all__ = [
     "RoutingGrid",
     "decompose_net",
     "decompose_netlist",
+    "segment_endpoints",
+    "PatternRouter",
+    "RoutedPath",
+    "RoutedPathBatch",
     "GlobalRouter",
     "RoutingResult",
     "CongestionData",

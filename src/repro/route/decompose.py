@@ -83,3 +83,57 @@ def decompose_netlist(
         decompose_net(netlist, e, px, py, topology)
         for e in range(netlist.n_nets)
     ]
+
+
+def segment_endpoints(
+    netlist: Netlist, topology: str = "mst"
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Endpoint arrays ``(net_id, x1, y1, x2, y2)`` of every segment.
+
+    Array form of :func:`decompose_netlist`, in the same segment order
+    (net id ascending, per-net segment order preserved).  Two-pin nets
+    — the bulk of any netlist — are extracted with pure array indexing
+    from the CSR structure; only nets of degree >= 3 fall back to the
+    per-net topology generator.
+    """
+    px, py = netlist.pin_positions()
+    deg = netlist.net_degrees()
+    starts = netlist.net_pin_starts
+    order = netlist.net_pin_order
+
+    two = np.flatnonzero(deg == 2)
+    pa = order[starts[two]]
+    pb = order[starts[two] + 1]
+    net_id = [two]
+    x1, y1 = [px[pa]], [py[pa]]
+    x2, y2 = [px[pb]], [py[pb]]
+
+    multi_ids: list[int] = []
+    mx1: list[float] = []
+    my1: list[float] = []
+    mx2: list[float] = []
+    my2: list[float] = []
+    for e in np.flatnonzero(deg >= 3):
+        for (sx1, sy1, sx2, sy2) in decompose_net(netlist, int(e), px, py, topology):
+            multi_ids.append(int(e))
+            mx1.append(sx1)
+            my1.append(sy1)
+            mx2.append(sx2)
+            my2.append(sy2)
+    net_id.append(np.asarray(multi_ids, dtype=np.int64))
+    x1.append(np.asarray(mx1, dtype=np.float64))
+    y1.append(np.asarray(my1, dtype=np.float64))
+    x2.append(np.asarray(mx2, dtype=np.float64))
+    y2.append(np.asarray(my2, dtype=np.float64))
+
+    nets = np.concatenate(net_id)
+    # merge the two blocks back into global net order; the sort is
+    # stable, so each net's internal segment order is untouched
+    perm = np.argsort(nets, kind="stable")
+    return (
+        nets[perm],
+        np.concatenate(x1)[perm],
+        np.concatenate(y1)[perm],
+        np.concatenate(x2)[perm],
+        np.concatenate(y2)[perm],
+    )

@@ -131,6 +131,56 @@ class RoutingGrid:
         self.via_demand[i, j] += amount
 
     # ------------------------------------------------------------------
+    # batched demand scatter (one call per chunk instead of one Python
+    # slice-add per run; exact integer counts, so bit-identical to the
+    # scalar adders)
+    # ------------------------------------------------------------------
+    def _scatter_runs(
+        self,
+        target: np.ndarray,
+        fixed: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        sign: float,
+        axis: int,
+    ) -> None:
+        """Add ``sign`` over spans ``lo..hi`` along ``axis`` at ``fixed``.
+
+        Expands all spans into flat G-cell indices with arange/repeat
+        arithmetic and accumulates them with one ``np.bincount``.
+        """
+        if len(fixed) == 0:
+            return
+        spans = hi - lo + 1
+        total = int(spans.sum())
+        starts = np.concatenate(([0], np.cumsum(spans)[:-1]))
+        moving = np.arange(total) + np.repeat(lo - starts, spans)
+        fix = np.repeat(fixed, spans)
+        ny = target.shape[1]
+        flat = moving * ny + fix if axis == 0 else fix * ny + moving
+        counts = np.bincount(flat, minlength=target.size)
+        target += sign * counts.reshape(target.shape)
+
+    def add_h_runs(
+        self, j: np.ndarray, lo: np.ndarray, hi: np.ndarray, sign: float = 1.0
+    ) -> None:
+        """Batch of horizontal runs: ``h_demand[lo_k:hi_k+1, j_k] += sign``."""
+        self._scatter_runs(self.h_demand, j, lo, hi, sign, axis=0)
+
+    def add_v_runs(
+        self, i: np.ndarray, lo: np.ndarray, hi: np.ndarray, sign: float = 1.0
+    ) -> None:
+        """Batch of vertical runs: ``v_demand[i_k, lo_k:hi_k+1] += sign``."""
+        self._scatter_runs(self.v_demand, i, lo, hi, sign, axis=1)
+
+    def add_vias(self, i: np.ndarray, j: np.ndarray, sign: float = 1.0) -> None:
+        """Batch of unit vias at G-cells ``(i_k, j_k)``."""
+        if len(i) == 0:
+            return
+        counts = np.bincount(i * self.grid.ny + j, minlength=self.via_demand.size)
+        self.via_demand += sign * counts.reshape(self.via_demand.shape)
+
+    # ------------------------------------------------------------------
     # aggregate views (Sec. II-B reductions)
     # ------------------------------------------------------------------
     def total_demand(self) -> np.ndarray:

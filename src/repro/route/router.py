@@ -5,6 +5,22 @@ framework consumes each routability iteration (the "GPU-accelerated
 3D Z-shape routing" box of Fig. 2, on CPU).  The router is stateless
 across calls: every :meth:`GlobalRouter.route` starts from the current
 cell positions.
+
+Two engines implement the same algorithm (``RouterConfig.engine``):
+
+``"batched"`` (default)
+    Routes whole cost-refresh chunks as array operations: segments
+    within a chunk all see the same (stale) cost maps — exactly the
+    semantics of the scalar loop, which only refreshes costs every
+    ``cost_refresh_interval`` segments — so evaluating a chunk with
+    :meth:`PatternRouter.route_batch` and committing its demand with
+    one bincount scatter per direction is bit-identical to routing the
+    chunk one segment at a time.  Overflow victims are detected with
+    2-D prefix sums of the overflow masks instead of per-run slicing.
+
+``"scalar"``
+    The one-segment-at-a-time reference implementation, kept for
+    equivalence tests and debugging.
 """
 
 from __future__ import annotations
@@ -17,10 +33,11 @@ from repro.geometry.grid import Grid2D
 from repro.netlist.netlist import Netlist
 from repro.route.config import RouterConfig
 from repro.route.congestion import CongestionData, congestion_from_demand
-from repro.route.decompose import decompose_net
+from repro.route.decompose import segment_endpoints
 from repro.route.grid import RoutingGrid
-from repro.route.patterns import PatternRouter, RoutedPath
+from repro.route.patterns import PatternRouter, RoutedPath, RoutedPathBatch
 from repro.utils.logging import get_logger
+from repro.utils.profile import StageProfiler
 
 logger = get_logger("route.router")
 
@@ -64,35 +81,239 @@ class RoutingResult:
 class GlobalRouter:
     """Route a netlist over a G-cell grid and report congestion."""
 
-    def __init__(self, grid: Grid2D, config: RouterConfig | None = None) -> None:
+    def __init__(
+        self,
+        grid: Grid2D,
+        config: RouterConfig | None = None,
+        profiler: StageProfiler | None = None,
+    ) -> None:
         self.grid = grid
         self.config = config or RouterConfig()
+        self.profiler = profiler or StageProfiler()
 
     # ------------------------------------------------------------------
     def route(self, netlist: Netlist) -> RoutingResult:
         """Full routing pass at the current cell positions."""
+        self.profiler.count("route.calls")
+        with self.profiler.timer("route.total"):
+            if self.config.engine == "scalar":
+                return self._route_scalar(netlist)
+            return self._route_batched(netlist)
+
+    # ==================================================================
+    # batched engine
+    # ==================================================================
+    def _route_batched(self, netlist: Netlist) -> RoutingResult:
         cfg = self.config
+        prof = self.profiler
         rgrid = RoutingGrid(self.grid, cfg, netlist)
-        segments = self._collect_segments(netlist)
+
+        with prof.timer("route.decompose"):
+            batch = self._collect_segment_batch(netlist)
+        prof.count("route.segments", len(batch))
+        self._add_pin_via_demand(rgrid, netlist)
+
+        with prof.timer("route.initial"):
+            self._route_chunks(rgrid, batch, np.arange(len(batch), dtype=np.int64))
+
+        with prof.timer("route.rrr"):
+            for round_id in range(cfg.rrr_rounds):
+                rgrid.accumulate_history()
+                victims = self._overflow_victims_batched(rgrid, batch)
+                if len(victims) == 0:
+                    break
+                logger.info(
+                    "RRR round %d: rerouting %d segments", round_id, len(victims)
+                )
+                prof.count("route.rerouted", len(victims))
+                self._commit_idx(rgrid, batch, victims, sign=-1.0)
+                self._route_chunks(rgrid, batch, victims)
+
+        overrides: dict[int, RoutedPath] = {}
+        if cfg.maze_fallback:
+            with prof.timer("route.maze"):
+                overrides = self._maze_cleanup_batched(rgrid, batch)
+
+        return self._result_batched(rgrid, batch, overrides)
+
+    def _collect_segment_batch(self, netlist: Netlist) -> RoutedPathBatch:
+        """All two-pin segments as arrays, sorted by bbox span.
+
+        Short segments first: they have no routing freedom anyway and
+        longer segments then see realistic congestion.  The sort is
+        stable, so equal-span segments keep net order, matching the
+        scalar engine's ``list.sort``.
+        """
+        nets, x1, y1, x2, y2 = segment_endpoints(netlist, self.config.topology)
+        i1, j1 = self.grid.index_of(x1, y1)
+        i2, j2 = self.grid.index_of(x2, y2)
+        span = np.abs(i2 - i1) + np.abs(j2 - j1)
+        order = np.argsort(span, kind="stable")
+        n = len(order)
+        return RoutedPathBatch(
+            i1=i1[order],
+            j1=j1[order],
+            i2=i2[order],
+            j2=j2[order],
+            family=np.full(n, -1, dtype=np.int8),
+            bend=np.zeros(n, dtype=np.int64),
+            cost=np.zeros(n, dtype=np.float64),
+        )
+
+    def _route_chunks(
+        self, rgrid: RoutingGrid, batch: RoutedPathBatch, idx: np.ndarray
+    ) -> None:
+        """Route segments ``idx`` in cost-refresh chunks and commit each.
+
+        Mirrors the scalar loop: costs refresh every
+        ``cost_refresh_interval`` segments, demand committed as we go.
+        """
+        cfg = self.config
+        router = PatternRouter(
+            *rgrid.cost_maps(), via_cost=1.0, z_samples=cfg.z_samples
+        )
+        step = cfg.cost_refresh_interval
+        for s in range(0, len(idx), step):
+            if s:
+                router.refresh(*rgrid.cost_maps())
+            chunk = idx[s : s + step]
+            sub = router.route_batch(
+                batch.i1[chunk], batch.j1[chunk], batch.i2[chunk], batch.j2[chunk]
+            )
+            batch.family[chunk] = sub.family
+            batch.bend[chunk] = sub.bend
+            batch.cost[chunk] = sub.cost
+            self._commit_idx(rgrid, batch, chunk, sign=1.0)
+
+    @staticmethod
+    def _commit_idx(
+        rgrid: RoutingGrid, batch: RoutedPathBatch, idx: np.ndarray, sign: float
+    ) -> None:
+        """Scatter the demand of segments ``idx`` into the grid maps."""
+        runs = batch.runs(idx)
+        rgrid.add_h_runs(runs.h_j, runs.h_lo, runs.h_hi, sign)
+        rgrid.add_v_runs(runs.v_i, runs.v_lo, runs.v_hi, sign)
+        rgrid.add_vias(runs.b_i, runs.b_j, sign)
+
+    def _overflow_victims_batched(
+        self, rgrid: RoutingGrid, batch: RoutedPathBatch
+    ) -> np.ndarray:
+        """Indices of segments whose path crosses an overflowed G-cell.
+
+        2-D prefix sums of the overflow masks turn the per-run "any
+        overflowed cell in this span?" test into two gathers per run.
+        """
+        h_over = rgrid.h_demand > rgrid.h_cap
+        v_over = rgrid.v_demand > rgrid.v_cap
+        if not (h_over.any() or v_over.any()):
+            return np.zeros(0, dtype=np.int64)
+        nx, ny = rgrid.grid.nx, rgrid.grid.ny
+        hpre = np.zeros((nx + 1, ny))
+        np.cumsum(h_over, axis=0, out=hpre[1:])
+        vpre = np.zeros((nx, ny + 1))
+        np.cumsum(v_over, axis=1, out=vpre[:, 1:])
+
+        runs = batch.runs()
+        h_hit = (hpre[runs.h_hi + 1, runs.h_j] - hpre[runs.h_lo, runs.h_j]) > 0
+        v_hit = (vpre[runs.v_i, runs.v_hi + 1] - vpre[runs.v_i, runs.v_lo]) > 0
+        mask = np.zeros(len(batch), dtype=bool)
+        mask[runs.h_seg[h_hit]] = True
+        mask[runs.v_seg[v_hit]] = True
+        return np.flatnonzero(mask)
+
+    def _maze_cleanup_batched(
+        self, rgrid: RoutingGrid, batch: RoutedPathBatch
+    ) -> dict:
+        """Detour-route still-overflowed segments; returns path overrides."""
+        from repro.route.maze import maze_route
+
+        victims = self._overflow_victims_batched(rgrid, batch)
+        overrides: dict[int, RoutedPath] = {}
+        if len(victims) == 0:
+            return overrides
+        logger.info("maze fallback: rerouting %d segments", len(victims))
+        one = np.empty(1, dtype=np.int64)
+        for k in victims:
+            one[0] = k
+            before = float(rgrid.overflow_map().sum())
+            self._commit_idx(rgrid, batch, one, sign=-1.0)
+            # fresh costs per segment: maze paths gladly share a cheap
+            # corridor and would re-create the overflow on stale maps
+            h_cost, v_cost = rgrid.cost_maps()
+            path = maze_route(
+                h_cost,
+                v_cost,
+                int(batch.i1[k]),
+                int(batch.j1[k]),
+                int(batch.i2[k]),
+                int(batch.j2[k]),
+                via_cost=1.0,
+                window=self.config.maze_window,
+            )
+            self._commit_path(rgrid, path, sign=1.0)
+            after = float(rgrid.overflow_map().sum())
+            if after >= before - 1e-9:
+                # admission control: a detour that does not reduce the
+                # total overflow only burns wirelength — keep the old
+                # path (in a saturated region every cell is expensive
+                # and Dijkstra wanders without actually helping)
+                self._commit_path(rgrid, path, sign=-1.0)
+                self._commit_idx(rgrid, batch, one, sign=1.0)
+            else:
+                overrides[int(k)] = path
+        return overrides
+
+    def _result_batched(
+        self, rgrid: RoutingGrid, batch: RoutedPathBatch, overrides: dict
+    ) -> RoutingResult:
+        wl = batch.wirelengths(self.grid.dx, self.grid.dy)
+        for k, path in overrides.items():
+            wl[k] = path.wirelength(self.grid.dx, self.grid.dy)
+        congestion = congestion_from_demand(rgrid)
+        return RoutingResult(
+            grid=rgrid,
+            congestion=congestion,
+            wirelength=float(wl.sum()),
+            n_vias=float(rgrid.via_demand.sum()),
+            total_overflow=float(rgrid.overflow_map().sum()),
+            n_segments=len(batch),
+        )
+
+    # ==================================================================
+    # scalar reference engine
+    # ==================================================================
+    def _route_scalar(self, netlist: Netlist) -> RoutingResult:
+        cfg = self.config
+        prof = self.profiler
+        rgrid = RoutingGrid(self.grid, cfg, netlist)
+        with prof.timer("route.decompose"):
+            segments = self._collect_segments(netlist)
+        prof.count("route.segments", len(segments))
         self._add_pin_via_demand(rgrid, netlist)
 
         # short segments first: they have no routing freedom anyway and
         # longer segments then see realistic congestion
         segments.sort(key=lambda s: s.bbox_span)
-        self._route_all(rgrid, segments, initial=True)
+        with prof.timer("route.initial"):
+            self._route_all(rgrid, segments, initial=True)
 
-        for round_id in range(cfg.rrr_rounds):
-            rgrid.accumulate_history()
-            victims = self._overflow_victims(rgrid, segments)
-            if not victims:
-                break
-            logger.info("RRR round %d: rerouting %d segments", round_id, len(victims))
-            for seg in victims:
-                self._uncommit(rgrid, seg)
-            self._route_all(rgrid, victims, initial=False)
+        with prof.timer("route.rrr"):
+            for round_id in range(cfg.rrr_rounds):
+                rgrid.accumulate_history()
+                victims = self._overflow_victims(rgrid, segments)
+                if not victims:
+                    break
+                logger.info(
+                    "RRR round %d: rerouting %d segments", round_id, len(victims)
+                )
+                prof.count("route.rerouted", len(victims))
+                for seg in victims:
+                    self._uncommit(rgrid, seg)
+                self._route_all(rgrid, victims, initial=False)
 
         if cfg.maze_fallback:
-            self._maze_cleanup(rgrid, segments)
+            with prof.timer("route.maze"):
+                self._maze_cleanup(rgrid, segments)
 
         return self._result(rgrid, segments)
 
@@ -134,16 +355,13 @@ class GlobalRouter:
 
     # ------------------------------------------------------------------
     def _collect_segments(self, netlist: Netlist) -> list:
-        px, py = netlist.pin_positions()
-        segments: list[_Segment] = []
-        for e in range(netlist.n_nets):
-            for (x1, y1, x2, y2) in decompose_net(
-                netlist, e, px, py, self.config.topology
-            ):
-                i1, j1 = self.grid.index_of(x1, y1)
-                i2, j2 = self.grid.index_of(x2, y2)
-                segments.append(_Segment(e, i1, j1, i2, j2))
-        return segments
+        nets, x1, y1, x2, y2 = segment_endpoints(netlist, self.config.topology)
+        i1, j1 = self.grid.index_of(x1, y1)
+        i2, j2 = self.grid.index_of(x2, y2)
+        return [
+            _Segment(int(e), int(a), int(b), int(c), int(d))
+            for e, a, b, c, d in zip(nets, i1, j1, i2, j2)
+        ]
 
     def _add_pin_via_demand(self, rgrid: RoutingGrid, netlist: Netlist) -> None:
         if self.config.pin_via_demand <= 0 or netlist.n_pins == 0:
@@ -168,8 +386,8 @@ class GlobalRouter:
             seg.path = router.route(seg.i1, seg.j1, seg.i2, seg.j2)
             self._commit(rgrid, seg)
 
-    def _commit(self, rgrid: RoutingGrid, seg: _Segment, sign: float = 1.0) -> None:
-        path = seg.path
+    @staticmethod
+    def _commit_path(rgrid: RoutingGrid, path: RoutedPath | None, sign: float) -> None:
         if path is None:
             return
         for kind, fixed, a, b in path.runs:
@@ -179,6 +397,9 @@ class GlobalRouter:
                 rgrid.add_v_run(fixed, a, b, sign)
         for (i, j) in path.bends:
             rgrid.add_via(i, j, sign)
+
+    def _commit(self, rgrid: RoutingGrid, seg: _Segment, sign: float = 1.0) -> None:
+        self._commit_path(rgrid, seg.path, sign)
 
     def _uncommit(self, rgrid: RoutingGrid, seg: _Segment) -> None:
         self._commit(rgrid, seg, sign=-1.0)

@@ -1,7 +1,8 @@
-"""Shared utilities: logging, seeded RNG helpers, timers."""
+"""Shared utilities: logging, seeded RNG helpers, timers, profiling."""
 
 from repro.utils.logging import get_logger
+from repro.utils.profile import StageProfiler, StageStats
 from repro.utils.rng import make_rng
 from repro.utils.timer import Timer
 
-__all__ = ["get_logger", "make_rng", "Timer"]
+__all__ = ["get_logger", "make_rng", "StageProfiler", "StageStats", "Timer"]

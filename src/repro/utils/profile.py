@@ -1,0 +1,132 @@
+"""Named per-stage wall-clock profiling.
+
+A :class:`StageProfiler` accumulates time and call counts under
+hierarchical dot-scoped stage names (``"route.initial"``,
+``"gp.poisson"``) plus free-form counters (``"route.segments"``).
+Flow components (:class:`~repro.route.router.GlobalRouter`,
+:class:`~repro.place.global_placer.GlobalPlacer`,
+:class:`~repro.core.rd_placer.RoutabilityDrivenPlacer`) accept a
+shared profiler so one object collects the whole per-stage breakdown
+of a run; the CLI prints it and the bench harness serialises it into
+``BENCH_*.json`` files.
+
+Nested timers are allowed and simply overlap: ``rd.nesterov`` includes
+the ``gp.*`` stages recorded inside the solver loop.  The report
+groups by prefix, so inclusive parents read naturally above their
+children.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageStats:
+    """Accumulated wall time and invocation count of one stage."""
+
+    time: float = 0.0
+    calls: int = 0
+
+
+@dataclass
+class StageProfiler:
+    """Accumulating per-stage wall-clock profiler.
+
+    Example
+    -------
+    >>> prof = StageProfiler()
+    >>> with prof.timer("route.initial"):
+    ...     pass
+    >>> prof.count("route.segments", 42)
+    >>> prof.stages["route.initial"].calls
+    1
+    """
+
+    stages: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def timer(self, name: str):
+        """Context manager accumulating elapsed wall time under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add_time(name, time.perf_counter() - t0)
+
+    def add_time(self, name: str, dt: float, calls: int = 1) -> None:
+        st = self.stages.setdefault(name, StageStats())
+        st.time += dt
+        st.calls += calls
+
+    def count(self, name: str, n: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # ------------------------------------------------------------------
+    def time_of(self, name: str) -> float:
+        st = self.stages.get(name)
+        return st.time if st is not None else 0.0
+
+    def total(self, prefix: str = "") -> float:
+        """Summed time of all stages whose name starts with ``prefix``."""
+        return sum(
+            st.time for name, st in self.stages.items() if name.startswith(prefix)
+        )
+
+    def reset(self) -> None:
+        self.stages.clear()
+        self.counters.clear()
+
+    def merge(self, other: "StageProfiler") -> "StageProfiler":
+        """Accumulate another profiler's stages/counters into this one."""
+        for name, st in other.stages.items():
+            self.add_time(name, st.time, st.calls)
+        for name, n in other.counters.items():
+            self.count(name, n)
+        return self
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot: ``{"stages": ..., "counters": ...}``."""
+        return {
+            "stages": {
+                name: {"time_s": st.time, "calls": st.calls}
+                for name, st in sorted(self.stages.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageProfiler":
+        prof = cls()
+        for name, st in data.get("stages", {}).items():
+            prof.add_time(name, st["time_s"], st.get("calls", 1))
+        for name, n in data.get("counters", {}).items():
+            prof.count(name, n)
+        return prof
+
+    # ------------------------------------------------------------------
+    def report(self, title: str = "stage profile") -> str:
+        """Human-readable table, stages sorted by time descending."""
+        lines = [title]
+        if self.stages:
+            width = max(len(name) for name in self.stages)
+            order = sorted(
+                self.stages.items(), key=lambda kv: kv[1].time, reverse=True
+            )
+            for name, st in order:
+                lines.append(
+                    f"  {name:<{width}}  {st.time:10.4f}s  x{st.calls}"
+                )
+        else:
+            lines.append("  (no stages recorded)")
+        if self.counters:
+            width = max(len(name) for name in self.counters)
+            for name, n in sorted(self.counters.items()):
+                value = f"{n:g}" if isinstance(n, float) else str(n)
+                lines.append(f"  {name:<{width}}  {value}")
+        return "\n".join(lines)

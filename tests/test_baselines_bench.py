@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.baselines import (
-    GPSeed,
     ablation_config,
     make_gp_seed,
     run_ours,

@@ -6,7 +6,7 @@ import pytest
 from repro.core import PinAccessConfig, pg_density_charge, rail_area_map, select_pg_rails
 from repro.core.pgrails import _cut_interval
 from repro.geometry import Grid2D, Rect
-from repro.netlist import CellSpec, Netlist, NetSpec, PGRailSpec
+from repro.netlist import CellSpec, Netlist, PGRailSpec
 from repro.synth import toy_design
 
 

@@ -13,9 +13,8 @@ from repro.core import (
     RDConfig,
     RoutabilityDrivenPlacer,
 )
-from repro.geometry import Grid2D
 from repro.place import GlobalPlacer, GPConfig, initial_placement
-from repro.route import GlobalRouter, RouterConfig
+from repro.route import GlobalRouter
 from repro.synth import toy_design
 
 

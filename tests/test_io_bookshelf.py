@@ -5,7 +5,6 @@ import pytest
 
 from repro.io import dumps_design, load_design, loads_design, save_design
 from repro.netlist import validate_netlist
-from repro.synth import toy_design
 
 
 class TestRoundTrip:

@@ -3,12 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.geometry import Rect
-from repro.legalize import build_row_map, check_legal, legalize, tetris_legalize
+from repro.legalize import build_row_map, check_legal, legalize
 from repro.legalize.abacus import _place_segment
-from repro.netlist import CellSpec, Netlist, NetSpec, PinSpec
 from repro.place import GlobalPlacer, GPConfig, initial_placement
-from repro.wirelength import hpwl
 
 
 class TestRowMap:

@@ -1,6 +1,5 @@
 """Unit tests for the netlist hypergraph container."""
 
-import numpy as np
 import pytest
 
 from repro.geometry import Rect

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.geometry import Grid2D, Rect
+from repro.geometry import Grid2D
 from repro.route import GlobalRouter, RouterConfig
 from repro.route.maze import maze_route
 from repro.route.patterns import PatternRouter

@@ -1,0 +1,112 @@
+"""StageProfiler behaviour: timers, counters, merge, serialisation."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.geometry import Grid2D
+from repro.route import GlobalRouter, RouterConfig
+from repro.synth import toy_design
+from repro.utils.profile import StageProfiler, StageStats
+
+
+class TestAccumulation:
+    def test_timer_accumulates_time_and_calls(self):
+        prof = StageProfiler()
+        for _ in range(3):
+            with prof.timer("a.b"):
+                time.sleep(0.002)
+        st = prof.stages["a.b"]
+        assert st.calls == 3
+        assert st.time >= 0.006
+        assert prof.time_of("a.b") == st.time
+        assert prof.time_of("missing") == 0.0
+
+    def test_timer_records_on_exception(self):
+        prof = StageProfiler()
+        with pytest.raises(RuntimeError):
+            with prof.timer("boom"):
+                raise RuntimeError("x")
+        assert prof.stages["boom"].calls == 1
+
+    def test_counters(self):
+        prof = StageProfiler()
+        prof.count("segments", 10)
+        prof.count("segments", 5)
+        prof.count("calls")
+        assert prof.counters == {"segments": 15, "calls": 1}
+
+    def test_total_by_prefix(self):
+        prof = StageProfiler()
+        prof.add_time("route.initial", 1.0)
+        prof.add_time("route.rrr", 2.0)
+        prof.add_time("gp.step", 4.0)
+        assert prof.total("route.") == pytest.approx(3.0)
+        assert prof.total() == pytest.approx(7.0)
+
+    def test_reset(self):
+        prof = StageProfiler()
+        prof.add_time("x", 1.0)
+        prof.count("y")
+        prof.reset()
+        assert not prof.stages and not prof.counters
+
+
+class TestMergeAndSerialise:
+    def test_merge(self):
+        a = StageProfiler()
+        a.add_time("s", 1.0, calls=2)
+        a.count("c", 3)
+        b = StageProfiler()
+        b.add_time("s", 0.5)
+        b.add_time("t", 0.25)
+        b.count("c", 1)
+        a.merge(b)
+        assert a.stages["s"] == StageStats(time=1.5, calls=3)
+        assert a.stages["t"].time == 0.25
+        assert a.counters["c"] == 4
+
+    def test_dict_round_trip(self):
+        prof = StageProfiler()
+        prof.add_time("route.total", 1.25, calls=2)
+        prof.count("route.segments", 99)
+        data = prof.as_dict()
+        assert data["stages"]["route.total"] == {"time_s": 1.25, "calls": 2}
+        back = StageProfiler.from_dict(data)
+        assert back.as_dict() == data
+
+    def test_report_contains_stages_and_counters(self):
+        prof = StageProfiler()
+        prof.add_time("slow", 2.0)
+        prof.add_time("fast", 0.5)
+        prof.count("things", 7)
+        text = prof.report("my title")
+        lines = text.splitlines()
+        assert lines[0] == "my title"
+        # sorted by time descending
+        assert lines[1].split()[0] == "slow"
+        assert lines[2].split()[0] == "fast"
+        assert any("things" in ln and "7" in ln for ln in lines)
+
+    def test_report_empty(self):
+        assert "(no stages recorded)" in StageProfiler().report()
+
+
+class TestRouterIntegration:
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_router_records_stages(self, engine):
+        netlist = toy_design(150, seed=5)
+        prof = StageProfiler()
+        grid = Grid2D(netlist.die, 16, 16)
+        router = GlobalRouter(grid, RouterConfig(engine=engine), profiler=prof)
+        result = router.route(netlist)
+        assert prof.counters["route.calls"] == 1
+        assert prof.counters["route.segments"] == result.n_segments
+        for stage in ("route.total", "route.initial", "route.rrr"):
+            assert prof.stages[stage].calls >= 1
+        # the stage clock covers real work
+        assert prof.time_of("route.total") > 0.0
+        assert np.isfinite(prof.total())

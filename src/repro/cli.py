@@ -15,6 +15,25 @@ import argparse
 import sys
 
 
+def _load_validated(path: str):
+    """Load a design file and structurally validate it.
+
+    Parse errors already name the file and line (see
+    :mod:`repro.io.bookshelf`); validation failures get the same
+    treatment so a truncated or hand-edited file fails with a message
+    pointing at the input, not a traceback from deep inside the flow.
+    """
+    from repro.io import load_design
+    from repro.netlist.validate import validate_netlist
+
+    netlist = load_design(path)
+    try:
+        validate_netlist(netlist)
+    except ValueError as exc:
+        raise SystemExit(f"error: {path}: invalid design: {exc}") from exc
+    return netlist
+
+
 def _cmd_gen(args: argparse.Namespace) -> int:
     from repro.io import save_design
     from repro.netlist import compute_stats
@@ -34,20 +53,29 @@ def _cmd_gen(args: argparse.Namespace) -> int:
 def _cmd_place(args: argparse.Namespace) -> int:
     from repro.core import RDConfig, RoutabilityDrivenPlacer
     from repro.detail import detailed_place
-    from repro.io import load_design, save_design
+    from repro.io import save_design
     from repro.legalize import check_legal, legalize
     from repro.place import GPConfig, converge_placement, initial_placement
     from repro.utils.profile import StageProfiler
     from repro.wirelength import hpwl
 
-    netlist = load_design(args.input)
+    netlist = _load_validated(args.input)
     gp = GPConfig(max_iters=args.iters)
     profiler = StageProfiler()
     if args.routability:
         placer = RoutabilityDrivenPlacer(netlist, RDConfig(gp=gp), profiler=profiler)
-        result = placer.run()
+        result = placer.run(
+            checkpoint_path=args.checkpoint,
+            resume=args.checkpoint is not None,
+        )
+        if result.resumed_from_round >= 0:
+            print(f"resumed from checkpoint after round "
+                  f"{result.resumed_from_round}")
         print(f"routability rounds: {result.n_rounds} "
               f"(best round {result.best_round})")
+        if result.guard_events:
+            print(f"guard events: {len(result.guard_events)} "
+                  f"(see logs for details)")
         congestion = result.final_routing.congestion_map
         grid = placer.gp.grid
     else:
@@ -71,12 +99,11 @@ def _cmd_place(args: argparse.Namespace) -> int:
 
 def _cmd_route(args: argparse.Namespace) -> int:
     from repro.geometry import Grid2D
-    from repro.io import load_design
     from repro.place.config import auto_grid_dim
     from repro.route import GlobalRouter, RouterConfig
     from repro.utils.profile import StageProfiler
 
-    netlist = load_design(args.input)
+    netlist = _load_validated(args.input)
     dim = args.grid or auto_grid_dim(netlist.n_cells)
     grid = Grid2D(netlist.die, dim, dim)
     profiler = StageProfiler()
@@ -95,9 +122,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
 
 def _cmd_eval(args: argparse.Namespace) -> int:
     from repro.evalrt import evaluate_routing
-    from repro.io import load_design
 
-    netlist = load_design(args.input)
+    netlist = _load_validated(args.input)
     ev = evaluate_routing(netlist)
     print(f"DRWL={ev.drwl:.0f} #DRVias={ev.n_vias:.0f} #DRVs={ev.n_drvs:.0f} "
           f"(overflow {ev.overflow_drvs:.0f}, pin-access "
@@ -107,12 +133,11 @@ def _cmd_eval(args: argparse.Namespace) -> int:
 
 def _cmd_plot(args: argparse.Namespace) -> int:
     from repro.geometry import Grid2D
-    from repro.io import load_design
     from repro.place.config import auto_grid_dim
     from repro.route import GlobalRouter, RouterConfig
     from repro.viz import save_heatmap_ppm, save_placement_svg
 
-    netlist = load_design(args.input)
+    netlist = _load_validated(args.input)
     dim = auto_grid_dim(netlist.n_cells)
     grid = Grid2D(netlist.die, dim, dim)
     result = GlobalRouter(grid, RouterConfig()).route(netlist)
@@ -144,6 +169,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the full Fig. 2 flow instead of WL-only")
     p.add_argument("--iters", type=int, default=1000)
     p.add_argument("--out", default="placed.bl")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="write the routability-flow state here after each "
+                        "round and resume from it if the file exists "
+                        "(requires --routability)")
     p.add_argument("--profile", action="store_true",
                    help="print the per-stage wall-clock breakdown")
     p.set_defaults(func=_cmd_place)

@@ -67,9 +67,17 @@ class MomentumInflation:
             ``C_i^t`` per cell (Eq. 3 values sampled at cell centers).
         """
         cfg = self.config
-        c = np.asarray(congestion_at_cells, dtype=np.float64)
+        c = np.array(congestion_at_cells, dtype=np.float64, copy=True)
         if len(c) != len(self.rates):
             raise ValueError("congestion vector length mismatch")
+        # a poisoned congestion map (NaN from a degenerate capacity,
+        # Inf from an overflow blow-up) must not corrupt the rate
+        # state: NaN observations read as "no information" (0), Inf
+        # and huge finite values saturate (unclamped, products inside
+        # the Eq. 12 correction overflow back to Inf/NaN), and the
+        # momentum terms can never go non-finite
+        np.nan_to_num(c, copy=False, nan=0.0, posinf=1e12, neginf=-1e12)
+        np.clip(c, -1e12, 1e12, out=c)
         self.round += 1
 
         if self.round == 1:
@@ -78,6 +86,13 @@ class MomentumInflation:
         else:
             s = self._correction(c)
             self.delta_rates = cfg.alpha * self.delta_rates + (1.0 - cfg.alpha) * s
+            # the deflation strength divides by the congestion means;
+            # near-zero means can still push the correction to Inf (and
+            # Inf * 0 to NaN) — saturate so the carried momentum stays
+            # usable for every later round
+            np.nan_to_num(
+                self.delta_rates, copy=False, nan=0.0, posinf=1e12, neginf=-1e12
+            )
 
         self.rates = np.clip(self.rates + self.delta_rates, cfg.r_min, cfg.r_max)
         self._prev_cong = c.copy()
@@ -116,6 +131,28 @@ class MomentumInflation:
         self._prev_cong = None
         self._prev_mean = 0.0
         self.round = 0
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Resumable snapshot of the rate/momentum state (arrays copied)."""
+        return {
+            "rates": self.rates.copy(),
+            "delta_rates": self.delta_rates.copy(),
+            "prev_cong": None if self._prev_cong is None else self._prev_cong.copy(),
+            "prev_mean": self._prev_mean,
+            "round": self.round,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (bit-exact resume)."""
+        self.rates = np.array(state["rates"], dtype=np.float64, copy=True)
+        self.delta_rates = np.array(
+            state["delta_rates"], dtype=np.float64, copy=True
+        )
+        prev = state.get("prev_cong")
+        self._prev_cong = None if prev is None else np.array(prev, dtype=np.float64)
+        self._prev_mean = float(state["prev_mean"])
+        self.round = int(state["round"])
 
 
 def congestion_at_cell_centers(

@@ -18,11 +18,26 @@ Stages, in the paper's order:
 
 Each of MCI / DC / DPA can be disabled independently, which is exactly
 the ablation axis of Table II.
+
+Robustness layer
+----------------
+The loop never returns garbage and never dies mid-flow:
+
+* every round snapshots positions + inflation state + congestion
+  score; the lowest-score snapshot is restored at the end, and a
+  diverged or crashed round *rolls back* to it before continuing;
+* congestion maps are sanitized (NaN/Inf scrubbed) before they feed
+  inflation, DPA or the congestion gradient, and the recovery is
+  reported in that round's record;
+* the whole loop state can be checkpointed to disk after each round
+  (``checkpoint_path``) and resumed bit-identically (``resume=True``),
+  so an interrupted flow continues instead of restarting.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -33,12 +48,22 @@ from repro.core.netmove import NetMoveConfig, two_pin_net_gradients
 from repro.core.pgrails import rail_area_map, select_pg_rails
 from repro.core.pinaccess import PinAccessConfig, pg_density_charge
 from repro.core.weights import congestion_penalty_weight, count_cells_in_congestion
+from repro.geometry.rect import Rect
+from repro.netlist.data import PGRailSpec
 from repro.netlist.netlist import Netlist
 from repro.place.config import GPConfig
 from repro.place.global_placer import GlobalPlacer
 from repro.place.initial import initial_placement
 from repro.route.config import RouterConfig
 from repro.route.router import GlobalRouter, RoutingResult
+from repro.utils import faults
+from repro.utils.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.utils.guards import GuardEvent, GuardLog, all_finite, scrub_nonfinite
 from repro.utils.logging import get_logger
 from repro.utils.profile import StageProfiler
 from repro.utils.timer import Timer
@@ -72,6 +97,9 @@ class RDConfig:
     # negligible: there is nothing to mitigate, and perturbing a
     # converged placement can only hurt
     stop_mean_congestion: float = 1e-3
+    # consecutive failed (rolled-back) rounds tolerated before the
+    # loop gives up and returns the best snapshot
+    max_round_failures: int = 2
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1:
@@ -82,6 +110,8 @@ class RDConfig:
             raise ValueError(f"unknown inflation_mode {self.inflation_mode!r}")
         if self.pg_mode not in ("dynamic", "static", "off"):
             raise ValueError(f"unknown pg_mode {self.pg_mode!r}")
+        if self.max_round_failures < 1:
+            raise ValueError("max_round_failures must be >= 1")
 
     @property
     def enable_mci(self) -> bool:
@@ -96,7 +126,15 @@ class RDConfig:
 
 @dataclass
 class RoundRecord:
-    """Diagnostics of one routability round."""
+    """Diagnostics of one routability round.
+
+    ``recovery`` lists human-readable notes of every guard action taken
+    while preparing this round (scrubbed congestion maps, rollbacks of
+    a previous failed round); ``router_fallbacks`` counts batched->
+    scalar routing degradations in the pass that produced this round's
+    congestion; ``guard_trips`` is the cumulative solver guard-trip
+    count at record time.
+    """
 
     round_id: int
     c_value: float
@@ -109,6 +147,9 @@ class RoundRecord:
     n_congested_cells: int
     mean_inflation: float
     max_inflation: float
+    recovery: list = field(default_factory=list)
+    router_fallbacks: int = 0
+    guard_trips: int = 0
 
 
 @dataclass
@@ -123,6 +164,8 @@ class RDResult:
     initial_gp_iters: int
     best_round: int = -1
     profile: dict = field(default_factory=dict)
+    guard_events: list = field(default_factory=list)
+    resumed_from_round: int = -1
 
     @property
     def n_rounds(self) -> int:
@@ -130,6 +173,34 @@ class RDResult:
 
     def series(self, key: str) -> list:
         return [getattr(r, key) for r in self.rounds]
+
+
+@dataclass
+class _FlowState:
+    """Everything the routability loop mutates between rounds.
+
+    Kept in one object so a round can be checkpointed to disk and the
+    loop resumed from it bit-identically (the current routing is *not*
+    part of the state: the router is stateless, so it is recomputed
+    from the positions on resume).
+    """
+
+    next_round: int = 0
+    rounds: list = field(default_factory=list)
+    hpwl_ref: float = 1.0
+    best_score: float = np.inf
+    best_positions: tuple | None = None
+    best_inflation: dict | None = None
+    best_size_scale: np.ndarray | None = None
+    best_round: int = -1
+    best_c: float = np.inf
+    stall: int = 0
+    selected_rails: list = field(default_factory=list)
+    rail_area: np.ndarray | None = None
+    initial_iters: int = 0
+    routing: RoutingResult | None = None
+    best_routing: RoutingResult | None = None  # in-memory only
+    resumed_from_round: int = -1
 
 
 class RoutabilityDrivenPlacer:
@@ -154,9 +225,16 @@ class RoutabilityDrivenPlacer:
             float(netlist.cell_area[std].mean()) if std.any() else 1.0
         )
         self.last_lambda2 = 0.0
+        self.recovery_log = GuardLog()
+        self._pending_recovery: list = []
 
     # ------------------------------------------------------------------
-    def run(self, skip_initial_gp: bool = False) -> RDResult:
+    def run(
+        self,
+        skip_initial_gp: bool = False,
+        checkpoint_path: str | None = None,
+        resume: bool = False,
+    ) -> RDResult:
         """Execute the full flow.
 
         Parameters
@@ -165,21 +243,110 @@ class RoutabilityDrivenPlacer:
             When True, assume ``netlist`` already holds a
             wirelength-driven global placement (used by benchmarks
             that share one initial placement across placers).
+        checkpoint_path:
+            When set, the loop state is written there after the
+            initial routing and after every completed round (atomic
+            ``.npz``), so an interrupted flow can be continued.
+        resume:
+            When True and ``checkpoint_path`` exists, restore the loop
+            from it instead of starting over; the continuation is
+            bit-identical to the uninterrupted run.
         """
         cfg = self.config
         timer = Timer().start()
 
-        selected_rails: list = []
-        rail_area = self.gp.grid.zeros()
+        state: _FlowState | None = None
+        if resume and checkpoint_path and os.path.exists(checkpoint_path):
+            state = self._load_flow_checkpoint(checkpoint_path)
+            logger.info(
+                "resumed flow from %s at round %d",
+                checkpoint_path,
+                state.next_round,
+            )
+        if state is None:
+            state = self._start_flow(skip_initial_gp)
+            if checkpoint_path:
+                self._save_flow_checkpoint(checkpoint_path, state)
+
+        failures = 0
+        for round_id in range(state.next_round, cfg.max_rounds):
+            self.profiler.count("rd.rounds")
+            try:
+                outcome = self._run_round(round_id, state)
+            except Exception as exc:  # noqa: BLE001 — rollback, don't die
+                failures += 1
+                self._rollback_round(state, round_id, exc)
+                if failures >= cfg.max_round_failures:
+                    logger.error(
+                        "%d consecutive failed rounds; returning best snapshot",
+                        failures,
+                    )
+                    break
+                state.next_round = round_id + 1
+                continue
+            failures = 0
+            state.next_round = round_id + 1
+            if outcome == "stop":
+                break
+            if checkpoint_path:
+                self._save_flow_checkpoint(checkpoint_path, state)
+
+        routing = state.routing
+        # the loop's very last routing may beat every checkpoint
+        final_score = self._routing_score(
+            routing, hpwl_of(self.netlist), state.hpwl_ref
+        )
+        if final_score < state.best_score:
+            state.best_positions = None
+            state.best_routing = routing
+            state.best_round = len(state.rounds)
+
+        if state.best_positions is not None:
+            self.netlist.x[:] = state.best_positions[0]
+            self.netlist.y[:] = state.best_positions[1]
+            if state.best_routing is None:
+                # resumed flow: the snapshot's routing was not carried
+                # in the checkpoint; recompute it (stateless router ->
+                # identical maps)
+                with self.profiler.timer("rd.route"):
+                    state.best_routing = self.router.route(self.netlist)
+            routing = state.best_routing
+            logger.info("restored best placement from round %d", state.best_round)
+
+        timer.stop()
+        return RDResult(
+            netlist=self.netlist,
+            rounds=state.rounds,
+            final_routing=routing,
+            selected_rails=state.selected_rails,
+            placement_time=timer.elapsed,
+            initial_gp_iters=state.initial_iters,
+            best_round=state.best_round,
+            profile=self.profiler.as_dict(),
+            guard_events=self.gp.guard_log.as_dicts()
+            + self.recovery_log.as_dicts(),
+            resumed_from_round=state.resumed_from_round,
+        )
+
+    # ------------------------------------------------------------------
+    # flow setup / one round
+    # ------------------------------------------------------------------
+    def _start_flow(self, skip_initial_gp: bool) -> _FlowState:
+        """Rails + initial wirelength-driven GP + first routing pass."""
+        cfg = self.config
+        state = _FlowState()
+        state.rail_area = self.gp.grid.zeros()
         if cfg.pg_mode == "dynamic":
-            selected_rails = select_pg_rails(self.netlist)
-            rail_area = rail_area_map(selected_rails, self.gp.grid)
-            logger.info("selected %d PG rail pieces", len(selected_rails))
+            state.selected_rails = select_pg_rails(self.netlist)
+            state.rail_area = rail_area_map(state.selected_rails, self.gp.grid)
+            logger.info("selected %d PG rail pieces", len(state.selected_rails))
         elif cfg.pg_mode == "static":
             # Xplace-Route-style: all rails, adjusted once before
             # placement, independent of congestion
-            rail_area = rail_area_map(self.netlist.pg_rails, self.gp.grid)
-            self.gp.extra_static_charge = cfg.pinaccess.density_scale * rail_area
+            state.rail_area = rail_area_map(self.netlist.pg_rails, self.gp.grid)
+            self.gp.extra_static_charge = (
+                cfg.pinaccess.density_scale * state.rail_area
+            )
 
         if not skip_initial_gp:
             from repro.place.global_placer import converge_placement
@@ -187,141 +354,427 @@ class RoutabilityDrivenPlacer:
             with self.profiler.timer("rd.initial_gp"):
                 initial_placement(self.netlist, cfg.gp.seed)
                 converge_placement(self.netlist, cfg.gp, profiler=self.profiler)
-        initial_iters = len(self.gp.history)
-
-        rounds: list[RoundRecord] = []
-        best_c = np.inf
-        stall = 0
-        # best-placement checkpoint: the loop perturbs a converged
-        # placement, so the final round is not necessarily the best
-        # one.  Round 0 is the incoming (wirelength-driven) placement;
-        # keeping the lowest-overflow snapshot guarantees the flow
-        # never returns something worse than its own starting point.
-        best_score = np.inf
-        best_positions: tuple[np.ndarray, np.ndarray] | None = None
-        best_routing: RoutingResult | None = None
-        best_round = -1
+        state.initial_iters = len(self.gp.history)
 
         with self.profiler.timer("rd.route"):
-            routing = self.router.route(self.netlist)
-        hpwl_ref = max(hpwl_of(self.netlist), 1e-12)
-        for round_id in range(cfg.max_rounds):
-            self.profiler.count("rd.rounds")
-            score = self._routing_score(routing, hpwl_of(self.netlist), hpwl_ref)
-            if score < best_score:
-                best_score = score
-                best_positions = (self.netlist.x.copy(), self.netlist.y.copy())
-                best_routing = routing
-                best_round = round_id
-            cong = routing.congestion
-            c_map = cong.congestion
-            fld = CongestionField(self.gp.grid, cong.utilization)
+            state.routing = self.router.route(self.netlist)
+        state.hpwl_ref = max(hpwl_of(self.netlist), 1e-12)
+        return state
 
-            cell_cong = self.gp.grid.value_at(
-                c_map, self.netlist.x, self.netlist.y
-            )
-            if cfg.inflation_mode == "momentum":
-                with self.profiler.timer("rd.inflate"):
-                    rates = self.inflation.update(cell_cong)
-                    self.gp.size_scale = np.sqrt(self._budgeted_rates(rates))
-            elif cfg.inflation_mode == "present":
-                # present-congestion-only inflation ([3, 5] style):
-                # the rate follows the current map with no history, so
-                # cells deflate instantly after leaving a hotspot
-                with self.profiler.timer("rd.inflate"):
-                    rates = np.clip(
-                        1.0 + cell_cong,
-                        self.config.inflation.r_min,
-                        self.config.inflation.r_max,
-                    )
-                    self.gp.size_scale = np.sqrt(self._budgeted_rates(rates))
+    def _run_round(self, round_id: int, state: _FlowState) -> str:
+        """One routability round; returns ``"continue"`` or ``"stop"``."""
+        cfg = self.config
+        routing = state.routing
+        score = self._routing_score(
+            routing, hpwl_of(self.netlist), state.hpwl_ref
+        )
+        if score < state.best_score:
+            # best snapshot: positions + inflation state + congestion
+            # score, so a rollback restores a *consistent* flow state
+            state.best_score = score
+            state.best_positions = (self.netlist.x.copy(), self.netlist.y.copy())
+            state.best_inflation = self.inflation.state_dict()
+            state.best_size_scale = self.gp.size_scale.copy()
+            state.best_routing = routing
+            state.best_round = round_id
 
-            if cfg.pg_mode == "dynamic":
-                with self.profiler.timer("rd.pinaccess"):
-                    self.gp.extra_static_charge = pg_density_charge(
-                        self.gp.grid, rail_area, c_map, cfg.pinaccess
-                    )
+        c_map, utilization = self._sanitized_maps(routing, round_id)
+        fld = CongestionField(self.gp.grid, utilization)
 
-            if cfg.enable_dc:
-                self.gp.extra_grad_fn = self._make_congestion_grad(fld, c_map)
-            else:
-                self.gp.extra_grad_fn = None
-
-            with self.profiler.timer("rd.record"):
-                record = self._record_round(round_id, routing, fld, c_map)
-            rounds.append(record)
-            if record.mean_congestion < cfg.stop_mean_congestion:
-                logger.info(
-                    "round %d: congestion negligible (%.2e), stopping",
-                    round_id,
-                    record.mean_congestion,
+        cell_cong = self.gp.grid.value_at(c_map, self.netlist.x, self.netlist.y)
+        if cfg.inflation_mode == "momentum":
+            with self.profiler.timer("rd.inflate"):
+                rates = self.inflation.update(cell_cong)
+                self.gp.size_scale = np.sqrt(self._budgeted_rates(rates))
+        elif cfg.inflation_mode == "present":
+            # present-congestion-only inflation ([3, 5] style): the
+            # rate follows the current map with no history, so cells
+            # deflate instantly after leaving a hotspot
+            with self.profiler.timer("rd.inflate"):
+                rates = np.clip(
+                    1.0 + cell_cong,
+                    self.config.inflation.r_min,
+                    self.config.inflation.r_max,
                 )
-                break
-            if record.hpwl > 1.15 * hpwl_ref:
-                # runaway guard: on globally saturated designs the
-                # inflation/congestion forces can enter a spreading
-                # spiral (longer wires -> more demand -> more
-                # spreading); once wirelength departs this far from
-                # the seed, further rounds only dig deeper
-                logger.info(
-                    "round %d: wirelength runaway (%.0f vs seed %.0f), stopping",
-                    round_id,
-                    record.hpwl,
-                    hpwl_ref,
+                self.gp.size_scale = np.sqrt(self._budgeted_rates(rates))
+
+        if cfg.pg_mode == "dynamic":
+            with self.profiler.timer("rd.pinaccess"):
+                self.gp.extra_static_charge = pg_density_charge(
+                    self.gp.grid, state.rail_area, c_map, cfg.pinaccess
                 )
-                break
+
+        if cfg.enable_dc:
+            self.gp.extra_grad_fn = self._make_congestion_grad(fld, c_map)
+        else:
+            self.gp.extra_grad_fn = None
+
+        with self.profiler.timer("rd.record"):
+            record = self._record_round(round_id, routing, fld, c_map)
+        state.rounds.append(record)
+        if record.mean_congestion < cfg.stop_mean_congestion:
             logger.info(
-                "round %d: C=%.4e mean_cong=%.4f hpwl=%.4e lambda2=%.3e",
+                "round %d: congestion negligible (%.2e), stopping",
                 round_id,
-                record.c_value,
                 record.mean_congestion,
-                record.hpwl,
-                record.lambda2,
             )
-
-            # stop when C(x, y) no longer decreases (Fig. 2 exit arc)
-            if record.c_value < best_c * (1.0 - cfg.c_improve_tol):
-                best_c = record.c_value
-                stall = 0
-            else:
-                stall += 1
-                if stall >= cfg.patience:
-                    break
-
-            self.gp.reset_solver()
-            # inclusive of the gp.* stages recorded inside the solver
-            with self.profiler.timer("rd.nesterov"):
-                self.gp.run(
-                    max_iters=cfg.iters_per_round, min_iters=cfg.iters_per_round
-                )
-            with self.profiler.timer("rd.route"):
-                routing = self.router.route(self.netlist)
-
-        # the loop's very last routing may beat every checkpoint
-        final_score = self._routing_score(routing, hpwl_of(self.netlist), hpwl_ref)
-        if final_score < best_score:
-            best_positions = None
-            best_routing = routing
-            best_round = len(rounds)
-
-        if best_positions is not None:
-            self.netlist.x[:] = best_positions[0]
-            self.netlist.y[:] = best_positions[1]
-            routing = best_routing if best_routing is not None else routing
-            logger.info("restored best placement from round %d", best_round)
-
-        timer.stop()
-        return RDResult(
-            netlist=self.netlist,
-            rounds=rounds,
-            final_routing=routing,
-            selected_rails=selected_rails,
-            placement_time=timer.elapsed,
-            initial_gp_iters=initial_iters,
-            best_round=best_round,
-            profile=self.profiler.as_dict(),
+            return "stop"
+        if record.hpwl > 1.15 * state.hpwl_ref:
+            # runaway guard: on globally saturated designs the
+            # inflation/congestion forces can enter a spreading spiral
+            # (longer wires -> more demand -> more spreading); once
+            # wirelength departs this far from the seed, further
+            # rounds only dig deeper
+            logger.info(
+                "round %d: wirelength runaway (%.0f vs seed %.0f), stopping",
+                round_id,
+                record.hpwl,
+                state.hpwl_ref,
+            )
+            return "stop"
+        logger.info(
+            "round %d: C=%.4e mean_cong=%.4f hpwl=%.4e lambda2=%.3e",
+            round_id,
+            record.c_value,
+            record.mean_congestion,
+            record.hpwl,
+            record.lambda2,
         )
 
+        # stop when C(x, y) no longer decreases (Fig. 2 exit arc)
+        if record.c_value < state.best_c * (1.0 - cfg.c_improve_tol):
+            state.best_c = record.c_value
+            state.stall = 0
+        else:
+            state.stall += 1
+            if state.stall >= cfg.patience:
+                return "stop"
+
+        self.gp.reset_solver()
+        # inclusive of the gp.* stages recorded inside the solver
+        with self.profiler.timer("rd.nesterov"):
+            self.gp.run(
+                max_iters=cfg.iters_per_round, min_iters=cfg.iters_per_round
+            )
+        self._ensure_finite_positions(round_id)
+        with self.profiler.timer("rd.route"):
+            state.routing = self.router.route(self.netlist)
+        return "continue"
+
+    # ------------------------------------------------------------------
+    # robustness: sanitization, rollback
+    # ------------------------------------------------------------------
+    def _sanitized_maps(self, routing: RoutingResult, round_id: int) -> tuple:
+        """Congestion/utilization maps with NaN/Inf scrubbed.
+
+        A degenerate map (zero capacity, overflow blow-up, or an
+        injected fault) would otherwise poison inflation rates, the
+        DPA charge and the congestion gradient at once.  Scrubbed
+        entries read as "no congestion"; the recovery is reported in
+        this round's record.
+        """
+        cong = routing.congestion
+        c_map = faults.fire("rd.congestion", cong.congestion)
+        utilization = cong.utilization
+        if not all_finite(c_map):
+            c_map = np.array(c_map, dtype=np.float64, copy=True)
+            _, n_bad = scrub_nonfinite(c_map)
+            np.clip(c_map, 0.0, None, out=c_map)
+            self._note_recovery(
+                round_id,
+                "nonfinite",
+                f"scrubbed {n_bad} non-finite congestion entries",
+                action="scrub",
+            )
+        if not all_finite(utilization):
+            utilization = np.array(utilization, dtype=np.float64, copy=True)
+            _, n_bad = scrub_nonfinite(utilization)
+            np.clip(utilization, 0.0, None, out=utilization)
+            self._note_recovery(
+                round_id,
+                "nonfinite",
+                f"scrubbed {n_bad} non-finite utilization entries",
+                action="scrub",
+            )
+        return c_map, utilization
+
+    def _ensure_finite_positions(self, round_id: int) -> None:
+        """Last line of defence after a solver round: finite, in-die."""
+        nl = self.netlist
+        if all_finite(nl.x) and all_finite(nl.y):
+            return
+        _, bad_x = scrub_nonfinite(nl.x, float(nl.die.cx))
+        _, bad_y = scrub_nonfinite(nl.y, float(nl.die.cy))
+        nl.clamp_to_die()
+        self._note_recovery(
+            round_id,
+            "nonfinite",
+            f"re-centered {max(bad_x, bad_y)} cells with non-finite positions",
+            action="scrub",
+        )
+
+    def _note_recovery(
+        self, round_id: int, kind: str, detail: str, action: str
+    ) -> None:
+        logger.warning("round %d: %s (%s)", round_id, detail, action)
+        self.profiler.count("rd.recoveries")
+        self.recovery_log.record(
+            GuardEvent(
+                site="rd.flow",
+                kind=kind,
+                iteration=round_id,
+                detail=detail,
+                action=action,
+            )
+        )
+        self._pending_recovery.append(detail)
+
+    def _rollback_round(
+        self, state: _FlowState, round_id: int, exc: Exception
+    ) -> None:
+        """Restore the best snapshot after a round crashed or diverged."""
+        logger.exception("round %d failed; rolling back to best snapshot", round_id)
+        self._note_recovery(
+            round_id,
+            "exception",
+            f"round {round_id} failed ({type(exc).__name__}: {exc}); "
+            f"rolled back to round {state.best_round} snapshot",
+            action="rollback",
+        )
+        nl = self.netlist
+        if state.best_positions is not None:
+            nl.x[:] = state.best_positions[0]
+            nl.y[:] = state.best_positions[1]
+        else:
+            scrub_nonfinite(nl.x, float(nl.die.cx))
+            scrub_nonfinite(nl.y, float(nl.die.cy))
+            nl.clamp_to_die()
+        if state.best_inflation is not None:
+            self.inflation.load_state_dict(state.best_inflation)
+        if state.best_size_scale is not None:
+            self.gp.size_scale = state.best_size_scale.copy()
+        # the solver state may be arbitrarily corrupted: rebuild it
+        # from scratch at the restored point next round
+        self.gp._optimizer = None
+        self.gp.extra_grad_fn = None
+        self.gp.reset_solver()
+        with self.profiler.timer("rd.route"):
+            state.routing = self.router.route(nl)
+
+    # ------------------------------------------------------------------
+    # checkpoint serialization
+    # ------------------------------------------------------------------
+    def _design_fingerprint(self) -> dict:
+        nl = self.netlist
+        return {
+            "name": nl.name,
+            "n_cells": int(nl.n_cells),
+            "n_nets": int(nl.n_nets),
+            "n_pins": int(nl.n_pins),
+        }
+
+    def _save_flow_checkpoint(self, path: str, state: _FlowState) -> None:
+        cfg = self.config
+        nl = self.netlist
+        gp_state = self.gp.state_dict()
+        infl_state = self.inflation.state_dict()
+        opt_state = gp_state.pop("optimizer")
+
+        meta = {
+            "version": CHECKPOINT_VERSION,
+            "design": self._design_fingerprint(),
+            "config": {
+                "inflation_mode": cfg.inflation_mode,
+                "pg_mode": cfg.pg_mode,
+                "enable_dc": cfg.enable_dc,
+                "max_rounds": cfg.max_rounds,
+                "iters_per_round": cfg.iters_per_round,
+                "optimizer": cfg.gp.optimizer,
+                "seed": cfg.gp.seed,
+            },
+            "next_round": state.next_round,
+            "rounds": [asdict(r) for r in state.rounds],
+            "hpwl_ref": state.hpwl_ref,
+            "best_score": (
+                None if not np.isfinite(state.best_score) else state.best_score
+            ),
+            "best_round": state.best_round,
+            "best_c": None if not np.isfinite(state.best_c) else state.best_c,
+            "stall": state.stall,
+            "initial_iters": state.initial_iters,
+            "last_lambda2": self.last_lambda2,
+            "selected_rails": [
+                [r.rect.xlo, r.rect.ylo, r.rect.xhi, r.rect.yhi, int(r.horizontal)]
+                for r in state.selected_rails
+            ],
+            "gp": {
+                "density_weight": gp_state["density_weight"],
+                "prev_hpwl": gp_state["prev_hpwl"],
+                "wa_gamma": gp_state["wa_gamma"],
+                "has_extra_static_charge": gp_state["extra_static_charge"]
+                is not None,
+            },
+            "optimizer": None
+            if opt_state is None
+            else {
+                k: v
+                for k, v in opt_state.items()
+                if not isinstance(v, np.ndarray) and v is not None
+            },
+            "inflation": {
+                "prev_mean": infl_state["prev_mean"],
+                "round": infl_state["round"],
+                "has_prev_cong": infl_state["prev_cong"] is not None,
+            },
+            "has_best": state.best_positions is not None,
+        }
+
+        arrays: dict = {
+            "x": nl.x,
+            "y": nl.y,
+            "gp_filler_x": gp_state["filler_x"],
+            "gp_filler_y": gp_state["filler_y"],
+            "gp_size_scale": gp_state["size_scale"],
+            "infl_rates": infl_state["rates"],
+            "infl_delta": infl_state["delta_rates"],
+        }
+        if gp_state["extra_static_charge"] is not None:
+            arrays["gp_extra_static_charge"] = gp_state["extra_static_charge"]
+        if infl_state["prev_cong"] is not None:
+            arrays["infl_prev_cong"] = infl_state["prev_cong"]
+        if opt_state is not None:
+            for key, value in opt_state.items():
+                if isinstance(value, np.ndarray):
+                    arrays[f"opt_{key}"] = value
+        if state.best_positions is not None:
+            arrays["best_x"] = state.best_positions[0]
+            arrays["best_y"] = state.best_positions[1]
+            arrays["best_size_scale"] = state.best_size_scale
+            best_infl = state.best_inflation
+            arrays["best_infl_rates"] = best_infl["rates"]
+            arrays["best_infl_delta"] = best_infl["delta_rates"]
+            if best_infl["prev_cong"] is not None:
+                arrays["best_infl_prev_cong"] = best_infl["prev_cong"]
+            meta["best_inflation"] = {
+                "prev_mean": best_infl["prev_mean"],
+                "round": best_infl["round"],
+            }
+
+        with self.profiler.timer("rd.checkpoint"):
+            write_checkpoint(path, meta, arrays)
+        logger.info(
+            "checkpoint written to %s (next round %d)", path, state.next_round
+        )
+
+    def _load_flow_checkpoint(self, path: str) -> _FlowState:
+        cfg = self.config
+        meta, arrays = read_checkpoint(path)
+        if meta.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"{path}: checkpoint version {meta.get('version')!r} "
+                f"!= {CHECKPOINT_VERSION}"
+            )
+        if meta.get("design") != self._design_fingerprint():
+            raise CheckpointError(
+                f"{path}: checkpoint was written for design "
+                f"{meta.get('design')}, not {self._design_fingerprint()}"
+            )
+        want_cfg = {
+            "inflation_mode": cfg.inflation_mode,
+            "pg_mode": cfg.pg_mode,
+            "enable_dc": cfg.enable_dc,
+            "max_rounds": cfg.max_rounds,
+            "iters_per_round": cfg.iters_per_round,
+            "optimizer": cfg.gp.optimizer,
+            "seed": cfg.gp.seed,
+        }
+        if meta.get("config") != want_cfg:
+            raise CheckpointError(
+                f"{path}: checkpoint config {meta.get('config')} does not "
+                f"match the current flow config {want_cfg}"
+            )
+
+        nl = self.netlist
+        nl.x[:] = arrays["x"]
+        nl.y[:] = arrays["y"]
+
+        opt_meta = meta.get("optimizer")
+        opt_state = None
+        if opt_meta is not None:
+            opt_state = dict(opt_meta)
+            for key, value in arrays.items():
+                if key.startswith("opt_"):
+                    opt_state[key[4:]] = value
+            opt_state.setdefault("prev_v", None)
+            opt_state.setdefault("prev_g", None)
+        self.gp.load_state_dict(
+            {
+                "filler_x": arrays["gp_filler_x"],
+                "filler_y": arrays["gp_filler_y"],
+                "size_scale": arrays["gp_size_scale"],
+                "extra_static_charge": arrays.get("gp_extra_static_charge"),
+                "density_weight": meta["gp"]["density_weight"],
+                "prev_hpwl": meta["gp"]["prev_hpwl"],
+                "wa_gamma": meta["gp"]["wa_gamma"],
+                "optimizer": opt_state,
+            }
+        )
+        self.inflation.load_state_dict(
+            {
+                "rates": arrays["infl_rates"],
+                "delta_rates": arrays["infl_delta"],
+                "prev_cong": arrays.get("infl_prev_cong"),
+                "prev_mean": meta["inflation"]["prev_mean"],
+                "round": meta["inflation"]["round"],
+            }
+        )
+        self.last_lambda2 = float(meta["last_lambda2"])
+
+        state = _FlowState(
+            next_round=int(meta["next_round"]),
+            rounds=[RoundRecord(**r) for r in meta["rounds"]],
+            hpwl_ref=float(meta["hpwl_ref"]),
+            best_score=(
+                np.inf if meta["best_score"] is None else float(meta["best_score"])
+            ),
+            best_round=int(meta["best_round"]),
+            best_c=np.inf if meta["best_c"] is None else float(meta["best_c"]),
+            stall=int(meta["stall"]),
+            initial_iters=int(meta["initial_iters"]),
+            resumed_from_round=int(meta["next_round"]) - 1,
+        )
+        state.selected_rails = [
+            PGRailSpec(rect=Rect(r[0], r[1], r[2], r[3]), horizontal=bool(r[4]))
+            for r in meta["selected_rails"]
+        ]
+        state.rail_area = rail_area_map(
+            state.selected_rails
+            if cfg.pg_mode == "dynamic"
+            else self.netlist.pg_rails,
+            self.gp.grid,
+        )
+        if meta["has_best"]:
+            state.best_positions = (
+                arrays["best_x"].copy(),
+                arrays["best_y"].copy(),
+            )
+            state.best_size_scale = arrays["best_size_scale"].copy()
+            state.best_inflation = {
+                "rates": arrays["best_infl_rates"].copy(),
+                "delta_rates": arrays["best_infl_delta"].copy(),
+                "prev_cong": (
+                    arrays["best_infl_prev_cong"].copy()
+                    if "best_infl_prev_cong" in arrays
+                    else None
+                ),
+                "prev_mean": meta["best_inflation"]["prev_mean"],
+                "round": meta["best_inflation"]["round"],
+            }
+        with self.profiler.timer("rd.route"):
+            state.routing = self.router.route(nl)
+        return state
+
+    # ------------------------------------------------------------------
     def _budgeted_rates(self, rates: np.ndarray) -> np.ndarray:
         """Cap total inflated area at the whitespace budget.
 
@@ -433,6 +886,7 @@ class RoutabilityDrivenPlacer:
         from repro.wirelength.hpwl import hpwl
 
         n_congested = count_cells_in_congestion(nl, grid, c_map)
+        recovery, self._pending_recovery = self._pending_recovery, []
         return RoundRecord(
             round_id=round_id,
             c_value=c_value,
@@ -445,4 +899,7 @@ class RoutabilityDrivenPlacer:
             n_congested_cells=n_congested,
             mean_inflation=float((self.gp.size_scale**2).mean()),
             max_inflation=float((self.gp.size_scale**2).max()),
+            recovery=recovery,
+            router_fallbacks=routing.n_fallbacks,
+            guard_trips=len(self.gp.guard_log),
         )

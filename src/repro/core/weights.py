@@ -32,4 +32,10 @@ def congestion_penalty_weight(
     """Evaluate Eq. (10); returns 0 when there is no congestion force."""
     if cong_grad_l1 <= 0.0 or n_cells <= 0:
         return 0.0
-    return (2.0 * n_congested_cells / n_cells) * (wl_grad_l1 / cong_grad_l1)
+    weight = (2.0 * n_congested_cells / n_cells) * (wl_grad_l1 / cong_grad_l1)
+    # a denormal-tiny ||grad C||_1 overflows the ratio to Inf; an
+    # effectively-zero congestion force means there is nothing to
+    # weight, same as the exact-zero case above
+    if not np.isfinite(weight):
+        return 0.0
+    return weight

@@ -7,6 +7,18 @@ rails).  Round-trips exactly through :func:`save_design` /
 :func:`load_design`.
 """
 
-from repro.io.bookshelf import load_design, save_design, dumps_design, loads_design
+from repro.io.bookshelf import (
+    BookshelfParseError,
+    dumps_design,
+    load_design,
+    loads_design,
+    save_design,
+)
 
-__all__ = ["load_design", "save_design", "dumps_design", "loads_design"]
+__all__ = [
+    "BookshelfParseError",
+    "load_design",
+    "save_design",
+    "dumps_design",
+    "loads_design",
+]

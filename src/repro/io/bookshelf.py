@@ -11,6 +11,10 @@ Format (line-oriented, ``#`` comments)::
     rail <xlo> <ylo> <xhi> <yhi> <h|v>
 
 All coordinates are cell centers, matching the in-memory convention.
+
+Malformed input raises :class:`BookshelfParseError` naming the source
+(file path when known), the 1-based line number, the offending line and
+what went wrong — enough to fix the file without reading this parser.
 """
 
 from __future__ import annotations
@@ -20,6 +24,17 @@ import io
 from repro.geometry.rect import Rect
 from repro.netlist.data import CellSpec, NetSpec, PGRailSpec, PinSpec
 from repro.netlist.netlist import Netlist
+
+
+class BookshelfParseError(ValueError):
+    """Malformed Bookshelf-lite input, located by source and line."""
+
+    def __init__(self, source: str, line_no: int, line: str, reason: str) -> None:
+        self.source = source
+        self.line_no = line_no
+        self.line = line
+        self.reason = reason
+        super().__init__(f"{source}:{line_no}: {reason} (in line {line!r})")
 
 
 def dumps_design(netlist: Netlist) -> str:
@@ -57,8 +72,12 @@ def dumps_design(netlist: Netlist) -> str:
     return out.getvalue()
 
 
-def loads_design(text: str) -> Netlist:
-    """Parse a Bookshelf-lite string back into a :class:`Netlist`."""
+def loads_design(text: str, source: str = "<string>") -> Netlist:
+    """Parse a Bookshelf-lite string back into a :class:`Netlist`.
+
+    ``source`` names the input in error messages (the file path when
+    called through :func:`load_design`).
+    """
     name = "design"
     die: Rect | None = None
     row_height, site_width = 1.0, 0.25
@@ -67,6 +86,8 @@ def loads_design(text: str) -> Netlist:
     rails: list[PGRailSpec] = []
     pending_net: NetSpec | None = None
     pending_pins = 0
+    line_no = 0
+    raw = ""
 
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -119,22 +140,37 @@ def loads_design(text: str) -> Netlist:
                 )
             else:
                 raise ValueError(f"unknown record {kind!r}")
-        except (IndexError, ValueError) as exc:
-            raise ValueError(f"parse error at line {line_no}: {raw!r}") from exc
+        except IndexError as exc:
+            raise BookshelfParseError(
+                source, line_no, raw, f"too few fields for {kind!r} record"
+            ) from exc
+        except ValueError as exc:
+            raise BookshelfParseError(source, line_no, raw, str(exc)) from exc
 
     if pending_pins > 0:
-        raise ValueError(f"net {pending_net.name} missing {pending_pins} pins")
+        raise BookshelfParseError(
+            source,
+            line_no,
+            raw,
+            f"net {pending_net.name} missing {pending_pins} pins at end of input",
+        )
     if die is None:
-        raise ValueError("missing die record")
-    return Netlist.from_specs(
-        name=name,
-        die=die,
-        cells=cells,
-        nets=nets,
-        row_height=row_height,
-        site_width=site_width,
-        pg_rails=rails,
-    )
+        raise BookshelfParseError(source, line_no, raw, "missing die record")
+    try:
+        return Netlist.from_specs(
+            name=name,
+            die=die,
+            cells=cells,
+            nets=nets,
+            row_height=row_height,
+            site_width=site_width,
+            pg_rails=rails,
+        )
+    except ValueError as exc:
+        # construction-level inconsistencies (e.g. duplicate cell
+        # names, pins naming unknown cells) have no single line — name
+        # the source at least
+        raise ValueError(f"{source}: {exc}") from exc
 
 
 def save_design(netlist: Netlist, path: str) -> None:
@@ -146,4 +182,4 @@ def save_design(netlist: Netlist, path: str) -> None:
 def load_design(path: str) -> Netlist:
     """Read a design file."""
     with open(path, "r", encoding="utf-8") as handle:
-        return loads_design(handle.read())
+        return loads_design(handle.read(), source=path)

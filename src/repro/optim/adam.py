@@ -48,3 +48,20 @@ class AdamOptimizer:
             "step": self.lr,
             "grad_norm": float(np.linalg.norm(g)),
         }
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Resumable snapshot of the full solver state (arrays copied)."""
+        return {
+            "u": self.u.copy(),
+            "m": self.m.copy(),
+            "s": self.s.copy(),
+            "iteration": self.iteration,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (bit-exact resume)."""
+        self.u = np.array(state["u"], dtype=np.float64, copy=True)
+        self.m = np.array(state["m"], dtype=np.float64, copy=True)
+        self.s = np.array(state["s"], dtype=np.float64, copy=True)
+        self.iteration = int(state["iteration"])

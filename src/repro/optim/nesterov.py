@@ -24,6 +24,16 @@ from typing import Callable
 
 import numpy as np
 
+from repro.utils import faults
+from repro.utils.guards import (
+    GuardConfig,
+    GuardEvent,
+    GuardLog,
+    NumericalFault,
+    all_finite,
+    scrub_nonfinite,
+)
+
 
 class NesterovOptimizer:
     """Accelerated gradient descent over a flat parameter vector."""
@@ -36,6 +46,7 @@ class NesterovOptimizer:
         max_step: float | None = None,
         min_step: float = 1e-12,
         max_move: float | None = None,
+        guard: GuardConfig | None = None,
     ) -> None:
         """
         Parameters
@@ -55,6 +66,14 @@ class NesterovOptimizer:
             coordinate in one step.  Prevents the secant estimate from
             exploding when successive gradients become nearly equal
             (e.g. when cells pile against the die boundary).
+        guard:
+            NaN/Inf sentinel policy.  A non-finite gradient triggers a
+            solver restart (momentum cleared, reference point pulled
+            back to the major point) with a shrunken step, retried up
+            to ``guard.max_backoffs`` times; a gradient that stays
+            corrupted afterwards has its bad entries scrubbed to zero
+            so the trajectory continues on the healthy coordinates.
+            Checks are read-only on the healthy path.
         """
         self.u = np.array(x0, dtype=np.float64, copy=True)
         self.v = self.u.copy()
@@ -64,6 +83,8 @@ class NesterovOptimizer:
         self.max_step = max_step
         self.min_step = min_step
         self.max_move = max_move
+        self.guard = guard or GuardConfig()
+        self.guard_log = GuardLog()
         self._prev_v: np.ndarray | None = None
         self._prev_g: np.ndarray | None = None
         self.iteration = 0
@@ -84,13 +105,72 @@ class NesterovOptimizer:
             est = min(est, self.max_step)
         return est
 
+    def _backoff(self) -> None:
+        """Solver restart with a shrunken step (guard trip response)."""
+        self.a = 1.0
+        self.v = self.u.copy()
+        self._prev_v = None
+        self._prev_g = None
+        self.step = max(self.step * self.guard.backoff_factor, self.min_step)
+
+    def _eval_gradient(self) -> np.ndarray:
+        """Gradient at ``v`` with the NaN/Inf sentinel applied.
+
+        Non-finite entries (or an arithmetic error inside the
+        callback) trigger backoff-and-retry; a gradient that is still
+        corrupted after ``max_backoffs`` attempts is scrubbed so the
+        healthy coordinates keep descending.
+        """
+        guard = self.guard
+        attempts = guard.max_backoffs if guard.enabled else 0
+        g: np.ndarray | None = None
+        error: str = ""
+        for attempt in range(attempts + 1):
+            if attempt:
+                self.guard_log.record(
+                    GuardEvent(
+                        site="optim.gradient",
+                        kind="nonfinite",
+                        iteration=self.iteration,
+                        detail=error,
+                        action="backoff",
+                    )
+                )
+                self._backoff()
+            try:
+                g = faults.fire("optim.gradient", self.grad_fn(self.v))
+            except (ArithmeticError, faults.InjectedFault) as exc:
+                g = None
+                error = f"gradient raised {type(exc).__name__}: {exc}"
+                continue
+            if all_finite(g):
+                return g
+            error = f"{int((~np.isfinite(g)).sum())} non-finite gradient entries"
+            if not guard.enabled:
+                return g
+        if g is None:
+            raise NumericalFault(
+                f"gradient callback failed {attempts + 1} times: {error}"
+            )
+        _, n_bad = scrub_nonfinite(g)
+        self.guard_log.record(
+            GuardEvent(
+                site="optim.gradient",
+                kind="nonfinite",
+                iteration=self.iteration,
+                detail=f"scrubbed {n_bad} entries after {attempts} backoffs",
+                action="scrub",
+            )
+        )
+        return g
+
     def do_step(self) -> dict:
         """One Nesterov iteration; returns diagnostics.
 
         The new major point is ``u_new = v - step * g(v)``; the next
         reference extrapolates along the momentum direction.
         """
-        g = self.grad_fn(self.v)
+        g = self._eval_gradient()
         self.step = self._estimate_step(g)
         if self.max_move is not None:
             g_inf = float(np.abs(g).max()) if len(g) else 0.0
@@ -112,7 +192,32 @@ class NesterovOptimizer:
             "iteration": self.iteration,
             "step": self.step,
             "grad_norm": float(np.linalg.norm(g)),
+            "guard_trips": len(self.guard_log),
         }
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Resumable snapshot of the full solver state (arrays copied)."""
+        return {
+            "u": self.u.copy(),
+            "v": self.v.copy(),
+            "a": self.a,
+            "step": self.step,
+            "iteration": self.iteration,
+            "prev_v": None if self._prev_v is None else self._prev_v.copy(),
+            "prev_g": None if self._prev_g is None else self._prev_g.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (bit-exact resume)."""
+        self.u = np.array(state["u"], dtype=np.float64, copy=True)
+        self.v = np.array(state["v"], dtype=np.float64, copy=True)
+        self.a = float(state["a"])
+        self.step = float(state["step"])
+        self.iteration = int(state["iteration"])
+        pv, pg = state.get("prev_v"), state.get("prev_g")
+        self._prev_v = None if pv is None else np.array(pv, dtype=np.float64)
+        self._prev_g = None if pg is None else np.array(pg, dtype=np.float64)
 
     def reset_momentum(self) -> None:
         """Restart acceleration (used when the objective changes shape,

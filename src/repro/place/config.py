@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro.utils.guards import GuardConfig
 
 
 @dataclass
@@ -36,6 +38,9 @@ class GPConfig:
         First-step displacement target, as a fraction of a bin.
     seed:
         RNG seed for initial placement jitter and filler scatter.
+    guard:
+        Divergence/NaN sentinel policy shared by the solver and the
+        placement loop (see :class:`repro.utils.guards.GuardConfig`).
     """
 
     grid_nx: int = 0
@@ -50,6 +55,7 @@ class GPConfig:
     initial_move_fraction: float = 0.1
     seed: int = 0
     verbose: bool = False
+    guard: GuardConfig = field(default_factory=GuardConfig)
 
     def __post_init__(self) -> None:
         if self.optimizer not in ("nesterov", "adam"):

@@ -32,6 +32,13 @@ from repro.optim.adam import AdamOptimizer
 from repro.optim.nesterov import NesterovOptimizer
 from repro.place.config import GPConfig, auto_grid_dim
 from repro.place.initial import initial_placement, scatter_fillers
+from repro.utils.guards import (
+    DivergenceSentinel,
+    GuardEvent,
+    GuardLog,
+    NumericalFault,
+    scrub_nonfinite,
+)
 from repro.utils.logging import get_logger
 from repro.utils.profile import StageProfiler
 from repro.wirelength.hpwl import hpwl
@@ -127,6 +134,12 @@ class GlobalPlacer:
         self.last_density_grad_l1 = 0.0
         self.history = PlacementHistory()
         self._optimizer = None
+
+        # divergence guard: rolling HPWL watchdog plus the last known
+        # healthy parameter vector the loop can roll back to
+        self.guard_log = GuardLog()
+        self._sentinel = DivergenceSentinel(cfg.guard)
+        self._last_good: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # parameter vector packing: [x_cells, x_fill, y_cells, y_fill]
@@ -285,7 +298,11 @@ class GlobalPlacer:
                 self._gradient,
                 initial_step=step0,
                 max_move=1.0 * bin_unit,
+                guard=self.config.guard,
             )
+            # one shared log: optimizer-level gradient trips and
+            # placement-level divergence trips read as one stream
+            self._optimizer.guard_log = self.guard_log
         else:
             self._optimizer = AdamOptimizer(pos0, self._gradient, lr=0.5 * bin_unit)
 
@@ -308,6 +325,7 @@ class GlobalPlacer:
             self._optimizer.reset_momentum()
         self.density_weight = 0.0
         self._prev_hpwl = None
+        self._sentinel.reset()
 
     def run(self, max_iters: int | None = None, min_iters: int = 10) -> PlacementHistory:
         """Iterate until the overflow target or the iteration cap.
@@ -319,10 +337,18 @@ class GlobalPlacer:
         self.prepare()
         iters = max_iters if max_iters is not None else cfg.max_iters
 
+        consecutive_trips = 0
         for it in range(iters):
             # inclusive of gp.wirelength / gp.poisson / gp.congestion_grad
-            with self.profiler.timer("gp.step"):
-                info = self._optimizer.do_step()
+            try:
+                with self.profiler.timer("gp.step"):
+                    info = self._optimizer.do_step()
+            except NumericalFault as exc:
+                consecutive_trips += 1
+                self._recover_from_trip("exception", str(exc))
+                if consecutive_trips > cfg.guard.max_backoffs:
+                    break
+                continue
             # project both optimizer points back into the die (clamp
             # happens inside _unpack); without projecting the reference
             # point v, the momentum extrapolation diverges when cells
@@ -337,6 +363,19 @@ class GlobalPlacer:
             sol = self.last_solution
             overflow = sol.overflow if sol is not None else 1.0
             cur_hpwl = hpwl(self.netlist)
+            verdict = self._sentinel.observe(cur_hpwl)
+            if cfg.guard.enabled and verdict != "ok":
+                consecutive_trips += 1
+                self._recover_from_trip(
+                    verdict,
+                    f"hpwl={cur_hpwl:.4e} vs baseline "
+                    f"{self._sentinel.baseline:.4e}",
+                )
+                if consecutive_trips > cfg.guard.max_backoffs:
+                    break
+                continue
+            consecutive_trips = 0
+            self._last_good = self._optimizer.u.copy()
             self.wa.update_gamma(overflow)
             self._update_mu(cur_hpwl)
             self.history.append(
@@ -400,6 +439,109 @@ class GlobalPlacer:
         for _ in range(n_bursts):
             self.reset_solver()
             self.run(max_iters=burst_iters, min_iters=burst_iters)
+
+    def _recover_from_trip(self, kind: str, detail: str) -> None:
+        """Roll the solver back to the last healthy point and back off.
+
+        Used when an iteration produced a non-finite or blown-up HPWL
+        (or the optimizer exhausted its own gradient backoffs): the
+        major point is restored to the last iterate the sentinel
+        accepted, momentum is cleared, the step length is shrunk and
+        the force balance re-initialised, so the next iteration
+        descends again from known-good coordinates instead of
+        propagating garbage.
+        """
+        self.guard_log.record(
+            GuardEvent(
+                site="gp.run",
+                kind=kind,
+                iteration=len(self.history),
+                detail=detail,
+                action="rollback",
+            )
+        )
+        self.profiler.count("gp.guard_trips")
+        logger.warning("divergence guard tripped (%s): %s", kind, detail)
+        opt = self._optimizer
+        if self._last_good is not None:
+            opt.u = self._last_good.copy()
+        else:
+            scrub_nonfinite(opt.u)
+        if isinstance(opt, NesterovOptimizer):
+            opt._backoff()  # clears momentum, v <- u, shrinks step
+        self._unpack(opt.u)
+        opt.u = self._pack()
+        opt.v = opt.u.copy()
+        self.density_weight = 0.0
+        self._prev_hpwl = None
+        self._sentinel.reset()
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Resumable snapshot of the placer's mutable state.
+
+        Together with the netlist positions (owned by the caller) this
+        captures everything :meth:`run` reads across iterations, so a
+        placer reconstructed from the same config + netlist and fed
+        this state continues bit-identically.
+        """
+        return {
+            "filler_x": self.filler_x.copy(),
+            "filler_y": self.filler_y.copy(),
+            "size_scale": self.size_scale.copy(),
+            "extra_static_charge": (
+                None
+                if self.extra_static_charge is None
+                else self.extra_static_charge.copy()
+            ),
+            "density_weight": self.density_weight,
+            "prev_hpwl": self._prev_hpwl,
+            "wa_gamma": self.wa.gamma,
+            "optimizer": (
+                None if self._optimizer is None else self._optimizer.state_dict()
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot.
+
+        Rebuilds the optimizer directly from the serialized vectors
+        (no extra gradient evaluation, so no side effects that would
+        diverge from an uninterrupted run).
+        """
+        self.filler_x = np.array(state["filler_x"], dtype=np.float64, copy=True)
+        self.filler_y = np.array(state["filler_y"], dtype=np.float64, copy=True)
+        self.size_scale = np.array(state["size_scale"], dtype=np.float64, copy=True)
+        extra = state.get("extra_static_charge")
+        self.extra_static_charge = (
+            None if extra is None else np.array(extra, dtype=np.float64, copy=True)
+        )
+        self.density_weight = float(state["density_weight"])
+        prev = state.get("prev_hpwl")
+        self._prev_hpwl = None if prev is None else float(prev)
+        self.wa.gamma = float(state["wa_gamma"])
+        opt_state = state.get("optimizer")
+        if opt_state is None:
+            self._optimizer = None
+        else:
+            bin_unit = 0.5 * (self.grid.dx + self.grid.dy)
+            if self.config.optimizer == "nesterov":
+                opt = NesterovOptimizer(
+                    opt_state["u"],
+                    self._gradient,
+                    initial_step=float(opt_state["step"]),
+                    max_move=1.0 * bin_unit,
+                    guard=self.config.guard,
+                )
+                opt.guard_log = self.guard_log
+            else:
+                opt = AdamOptimizer(opt_state["u"], self._gradient, lr=0.5 * bin_unit)
+            opt.load_state_dict(opt_state)
+            self._optimizer = opt
+        self._last_good = None
+        self._sentinel.reset()
 
     def _update_mu(self, cur_hpwl: float) -> None:
         """ePlace lambda feedback: ``mu = 1.1^(1 - dHPWL/ref)``.

@@ -353,6 +353,47 @@ class PatternRouter:
         other = self._best_vhv(i1, j1, i2, j2)
         return best if best.cost <= other.cost else other
 
+    def route_one(self, i1: int, j1: int, i2: int, j2: int) -> tuple:
+        """Scalar ``(family, bend, cost)`` — the batch-representation
+        twin of :meth:`route`.
+
+        The per-chunk fallback of the batched routing engine uses this
+        to fill :class:`RoutedPathBatch` entries one segment at a time
+        when :meth:`route_batch` fails; candidates, cost arithmetic and
+        tie-breaking mirror the batch path operation-for-operation, so
+        the fallback is bit-identical to a healthy batched chunk.
+        """
+        if i1 == i2 and j1 == j2:
+            return FAMILY_EMPTY, 0, 0.0
+        if j1 == j2:
+            return FAMILY_H, 0, float(self._h_run_cost(j1, i1, i2))
+        if i1 == i2:
+            return FAMILY_V, 0, float(self._v_run_cost(i1, j1, j2))
+
+        best_m, best_hvh = 0, np.inf
+        for m in self._candidates(i1, i2, self.nx):
+            c = (
+                self._h_run_cost(j1, i1, m)
+                + self._v_run_cost(m, j1, j2)
+                + self._h_run_cost(j2, m, i2)
+                + self.via_cost * (float(m != i1) + (m != i2))
+            )
+            if c < best_hvh:
+                best_hvh, best_m = c, int(m)
+        best_r, best_vhv = 0, np.inf
+        for r in self._candidates(j1, j2, self.ny):
+            c = (
+                self._v_run_cost(i1, j1, r)
+                + self._h_run_cost(r, i1, i2)
+                + self._v_run_cost(i2, r, j2)
+                + self.via_cost * (float(r != j1) + (r != j2))
+            )
+            if c < best_vhv:
+                best_vhv, best_r = c, int(r)
+        if best_vhv < best_hvh:  # batch keeps HVH on ties
+            return FAMILY_VHV, best_r, float(best_vhv)
+        return FAMILY_HVH, best_m, float(best_hvh)
+
     def route_batch(
         self,
         i1: np.ndarray,

@@ -36,6 +36,7 @@ from repro.route.congestion import CongestionData, congestion_from_demand
 from repro.route.decompose import segment_endpoints
 from repro.route.grid import RoutingGrid
 from repro.route.patterns import PatternRouter, RoutedPath, RoutedPathBatch
+from repro.utils import faults
 from repro.utils.logging import get_logger
 from repro.utils.profile import StageProfiler
 
@@ -58,7 +59,12 @@ class _Segment:
 
 @dataclass
 class RoutingResult:
-    """Outcome of one global routing pass."""
+    """Outcome of one global routing pass.
+
+    ``n_fallbacks`` counts recoveries during the pass: chunks the
+    batched engine handed to the scalar per-segment path, plus 1 when
+    the whole pass fell back to the scalar reference engine.
+    """
 
     grid: RoutingGrid
     congestion: CongestionData
@@ -66,6 +72,7 @@ class RoutingResult:
     n_vias: float
     total_overflow: float
     n_segments: int
+    n_fallbacks: int = 0
 
     @property
     def congestion_map(self) -> np.ndarray:
@@ -90,15 +97,36 @@ class GlobalRouter:
         self.grid = grid
         self.config = config or RouterConfig()
         self.profiler = profiler or StageProfiler()
+        self._pass_fallbacks = 0
 
     # ------------------------------------------------------------------
     def route(self, netlist: Netlist) -> RoutingResult:
-        """Full routing pass at the current cell positions."""
+        """Full routing pass at the current cell positions.
+
+        The batched engine never aborts the flow: a chunk that raises
+        is retried segment-by-segment (see :meth:`_route_chunks`), and
+        if the batched pass fails outside a chunk the whole pass is
+        re-run on the scalar reference engine.  Both recoveries are
+        logged and reported in ``RoutingResult.n_fallbacks``.
+        """
         self.profiler.count("route.calls")
+        self._pass_fallbacks = 0
         with self.profiler.timer("route.total"):
             if self.config.engine == "scalar":
                 return self._route_scalar(netlist)
-            return self._route_batched(netlist)
+            try:
+                faults.fire("route.batched")
+                return self._route_batched(netlist)
+            except Exception:
+                logger.exception(
+                    "batched routing engine failed; falling back to the "
+                    "scalar engine for this pass"
+                )
+                self.profiler.count("route.engine_fallbacks")
+                self._pass_fallbacks += 1
+                result = self._route_scalar(netlist)
+                result.n_fallbacks = self._pass_fallbacks
+                return result
 
     # ==================================================================
     # batched engine
@@ -177,12 +205,38 @@ class GlobalRouter:
             if s:
                 router.refresh(*rgrid.cost_maps())
             chunk = idx[s : s + step]
-            sub = router.route_batch(
-                batch.i1[chunk], batch.j1[chunk], batch.i2[chunk], batch.j2[chunk]
-            )
-            batch.family[chunk] = sub.family
-            batch.bend[chunk] = sub.bend
-            batch.cost[chunk] = sub.cost
+            try:
+                faults.fire("route.batched_chunk")
+                sub = router.route_batch(
+                    batch.i1[chunk],
+                    batch.j1[chunk],
+                    batch.i2[chunk],
+                    batch.j2[chunk],
+                )
+                batch.family[chunk] = sub.family
+                batch.bend[chunk] = sub.bend
+                batch.cost[chunk] = sub.cost
+            except Exception:
+                # graceful degradation: route the chunk one segment at
+                # a time against the same (stale) cost maps — slower,
+                # bit-identical, and the flow keeps running
+                logger.exception(
+                    "batched chunk of %d segments failed; retrying with "
+                    "the scalar per-segment path",
+                    len(chunk),
+                )
+                self.profiler.count("route.chunk_fallbacks")
+                self._pass_fallbacks += 1
+                for k in chunk:
+                    fam, bend, cost = router.route_one(
+                        int(batch.i1[k]),
+                        int(batch.j1[k]),
+                        int(batch.i2[k]),
+                        int(batch.j2[k]),
+                    )
+                    batch.family[k] = fam
+                    batch.bend[k] = bend
+                    batch.cost[k] = cost
             self._commit_idx(rgrid, batch, chunk, sign=1.0)
 
     @staticmethod
@@ -277,6 +331,7 @@ class GlobalRouter:
             n_vias=float(rgrid.via_demand.sum()),
             total_overflow=float(rgrid.overflow_map().sum()),
             n_segments=len(batch),
+            n_fallbacks=self._pass_fallbacks,
         )
 
     # ==================================================================

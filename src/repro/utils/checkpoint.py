@@ -1,0 +1,82 @@
+"""Atomic on-disk checkpoints: a JSON meta block plus numpy arrays.
+
+Generic carrier used by the flow-state checkpointing of
+:class:`~repro.core.rd_placer.RoutabilityDrivenPlacer`: the caller
+supplies a JSON-serializable ``meta`` dict and a dict of float/int
+arrays; both round-trip losslessly (arrays bit-exact) through one
+``.npz`` file.  Writes are atomic — the payload lands in a temp file
+that is ``os.replace``d over the target, so a crash mid-write can
+never leave a truncated checkpoint behind.
+
+Pickle is disabled on both ends: a checkpoint is data, not code.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import numpy as np
+
+CHECKPOINT_VERSION = 1
+_META_KEY = "__meta__"
+
+
+class CheckpointError(RuntimeError):
+    """Unreadable, corrupt, or incompatible checkpoint file."""
+
+
+def _json_default(obj):
+    """Let numpy scalars through ``json.dumps`` losslessly.
+
+    ``np.float64 -> float`` is the identity on the IEEE-754 payload and
+    Python's json round-trips floats via ``repr``, so the value read
+    back is bit-exact.
+    """
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    raise TypeError(f"{type(obj).__name__} is not checkpoint-serializable")
+
+
+def write_checkpoint(path: str, meta: dict, arrays: dict) -> None:
+    """Atomically write ``meta`` + ``arrays`` to ``path`` (.npz)."""
+    payload = {_META_KEY: np.array(json.dumps(meta, default=_json_default))}
+    for name, arr in arrays.items():
+        if name == _META_KEY:
+            raise ValueError(f"array name {name!r} is reserved")
+        payload[name] = np.asarray(arr)
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **payload)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        handle.write(buf.getvalue())
+    os.replace(tmp, path)
+
+
+def read_checkpoint(path: str) -> tuple:
+    """Read a checkpoint back as ``(meta, arrays)``.
+
+    Raises :class:`CheckpointError` with the offending file named when
+    the payload is unreadable or was not written by
+    :func:`write_checkpoint`.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if _META_KEY not in data:
+                raise CheckpointError(
+                    f"{path}: not a flow checkpoint (missing meta block)"
+                )
+            meta = json.loads(str(data[_META_KEY]))
+            arrays = {
+                name: data[name] for name in data.files if name != _META_KEY
+            }
+    except CheckpointError:
+        raise
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"{path}: cannot read checkpoint: {exc}") from exc
+    return meta, arrays

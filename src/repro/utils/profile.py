@@ -25,10 +25,11 @@ from dataclasses import dataclass, field
 
 @dataclass
 class StageStats:
-    """Accumulated wall time and invocation count of one stage."""
+    """Accumulated wall time, invocation count and error count of one stage."""
 
     time: float = 0.0
     calls: int = 0
+    errors: int = 0
 
 
 @dataclass
@@ -47,21 +48,41 @@ class StageProfiler:
 
     stages: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
+    open_stages: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @contextmanager
     def timer(self, name: str):
-        """Context manager accumulating elapsed wall time under ``name``."""
+        """Context manager accumulating elapsed wall time under ``name``.
+
+        Exception-safe: when the timed block raises, the elapsed time
+        is still recorded (the partial breakdown survives a crashed
+        flow), the stage's ``errors`` counter is bumped, and the
+        exception propagates unchanged.  ``open_stages`` always
+        reflects the stack of currently-running timers, so a report
+        taken from an exception handler names the stage that failed.
+        """
         t0 = time.perf_counter()
+        self.open_stages.append(name)
         try:
             yield self
+        except BaseException:
+            self.stages.setdefault(name, StageStats()).errors += 1
+            raise
         finally:
             self.add_time(name, time.perf_counter() - t0)
+            # a raising inner timer may leave deeper entries; drop
+            # everything from this stage's (innermost) frame down so
+            # the stack stays sane
+            if name in self.open_stages:
+                last = len(self.open_stages) - 1 - self.open_stages[::-1].index(name)
+                del self.open_stages[last:]
 
-    def add_time(self, name: str, dt: float, calls: int = 1) -> None:
+    def add_time(self, name: str, dt: float, calls: int = 1, errors: int = 0) -> None:
         st = self.stages.setdefault(name, StageStats())
         st.time += dt
         st.calls += calls
+        st.errors += errors
 
     def count(self, name: str, n: float = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + n
@@ -80,11 +101,12 @@ class StageProfiler:
     def reset(self) -> None:
         self.stages.clear()
         self.counters.clear()
+        self.open_stages.clear()
 
     def merge(self, other: "StageProfiler") -> "StageProfiler":
         """Accumulate another profiler's stages/counters into this one."""
         for name, st in other.stages.items():
-            self.add_time(name, st.time, st.calls)
+            self.add_time(name, st.time, st.calls, st.errors)
         for name, n in other.counters.items():
             self.count(name, n)
         return self
@@ -94,7 +116,7 @@ class StageProfiler:
         """JSON-ready snapshot: ``{"stages": ..., "counters": ...}``."""
         return {
             "stages": {
-                name: {"time_s": st.time, "calls": st.calls}
+                name: {"time_s": st.time, "calls": st.calls, "errors": st.errors}
                 for name, st in sorted(self.stages.items())
             },
             "counters": dict(sorted(self.counters.items())),
@@ -104,7 +126,7 @@ class StageProfiler:
     def from_dict(cls, data: dict) -> "StageProfiler":
         prof = cls()
         for name, st in data.get("stages", {}).items():
-            prof.add_time(name, st["time_s"], st.get("calls", 1))
+            prof.add_time(name, st["time_s"], st.get("calls", 1), st.get("errors", 0))
         for name, n in data.get("counters", {}).items():
             prof.count(name, n)
         return prof
@@ -119,8 +141,9 @@ class StageProfiler:
                 self.stages.items(), key=lambda kv: kv[1].time, reverse=True
             )
             for name, st in order:
+                err = f"  !{st.errors}" if st.errors else ""
                 lines.append(
-                    f"  {name:<{width}}  {st.time:10.4f}s  x{st.calls}"
+                    f"  {name:<{width}}  {st.time:10.4f}s  x{st.calls}{err}"
                 )
         else:
             lines.append("  (no stages recorded)")

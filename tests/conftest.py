@@ -47,3 +47,37 @@ def toy120():
 @pytest.fixture
 def toy300():
     return toy_design(300, seed=3)
+
+
+@pytest.fixture
+def inject_faults():
+    """Factory installing deterministic fault plans; auto-uninstalled.
+
+    Usage::
+
+        def test_x(inject_faults):
+            inj = inject_faults(faults.FaultPlan("optim.gradient", mode="nan"))
+            ...  # faults fire inside the flow
+            assert inj.count_fired("optim.gradient") == 1
+    """
+    from repro.utils import faults
+
+    def _install(*plans):
+        injector = faults.FaultInjector()
+        for plan in plans:
+            injector.add(plan)
+        return faults.install(injector)
+
+    yield _install
+    faults.uninstall()
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    """Fail fast if a test leaves a process-wide injector installed."""
+    from repro.utils import faults
+
+    yield
+    leaked = faults.active() is not None
+    faults.uninstall()
+    assert not leaked, "test left a FaultInjector installed"

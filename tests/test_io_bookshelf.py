@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.io import dumps_design, load_design, loads_design, save_design
+from repro.io import (
+    BookshelfParseError,
+    dumps_design,
+    load_design,
+    loads_design,
+    save_design,
+)
 from repro.netlist import validate_netlist
 
 
@@ -46,11 +52,11 @@ class TestErrors:
             loads_design("design d\n")
 
     def test_unknown_record(self):
-        with pytest.raises(ValueError, match="line 2"):
+        with pytest.raises(BookshelfParseError, match=r"<string>:2"):
             loads_design("die 0 0 1 1\nbogus stuff\n")
 
     def test_pin_outside_net(self):
-        with pytest.raises(ValueError, match="line"):
+        with pytest.raises(BookshelfParseError, match="outside a net block"):
             loads_design("die 0 0 1 1\npin a 0 0\n")
 
     def test_missing_pins(self):
@@ -59,5 +65,25 @@ class TestErrors:
             loads_design(text)
 
     def test_truncated_cell_line(self):
-        with pytest.raises(ValueError, match="parse error"):
+        with pytest.raises(BookshelfParseError, match="too few fields"):
             loads_design("die 0 0 4 4\ncell a 1 1\n")
+
+    def test_error_locates_line_and_content(self):
+        with pytest.raises(BookshelfParseError) as info:
+            loads_design("die 0 0 4 4\ncell a 1 1 oops 1 -\n", source="bad.bl")
+        err = info.value
+        assert err.source == "bad.bl"
+        assert err.line_no == 2
+        assert "cell a 1 1 oops 1 -" in str(err)
+        assert "bad.bl:2" in str(err)
+
+    def test_load_design_names_the_file(self, tmp_path):
+        path = tmp_path / "broken.bl"
+        path.write_text("die 0 0 4 4\ncell a 1 1\n")
+        with pytest.raises(BookshelfParseError, match="broken.bl:2"):
+            load_design(str(path))
+
+    def test_duplicate_cells_name_source(self):
+        text = "die 0 0 4 4\ncell a 1 1 1 1 -\ncell a 1 1 2 2 -\n"
+        with pytest.raises(ValueError, match="<string>.*duplicate"):
+            loads_design(text)

@@ -1,0 +1,85 @@
+"""Property-based invariants of the robustness-critical numerics.
+
+Two guarantees the flow's recovery paths rely on:
+
+* MCI inflation rates stay inside ``[r_min, r_max]`` and finite no
+  matter what congestion sequence arrives — including adversarial
+  values (negative, huge, NaN, Inf) from a corrupted router pass;
+* the Eq. (10) congestion weight ``lambda_2`` is finite for every
+  input, in particular 0 when the congestion gradient vanishes (the
+  division that could blow up is guarded).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.inflation import InflationConfig, MomentumInflation
+from repro.core.weights import congestion_penalty_weight
+
+# adversarial congestion samples: normal values, extremes, and the
+# non-finite values a corrupted map can carry
+congestion_value = st.one_of(
+    st.floats(min_value=-10.0, max_value=10.0),
+    st.sampled_from([0.0, 1e12, -1e12, 1e308, float("nan"), float("inf"), float("-inf")]),
+)
+congestion_round = st.lists(congestion_value, min_size=4, max_size=4)
+
+
+class TestInflationRateInvariants:
+    @given(st.lists(congestion_round, min_size=1, max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_rates_always_in_legal_range(self, rounds):
+        cfg = InflationConfig()
+        mci = MomentumInflation(4, cfg)
+        for cong in rounds:
+            rates = mci.update(np.array(cong))
+            assert np.isfinite(rates).all()
+            assert (rates >= cfg.r_min - 1e-12).all()
+            assert (rates <= cfg.r_max + 1e-12).all()
+
+    @given(st.lists(congestion_round, min_size=2, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_momentum_state_stays_finite(self, rounds):
+        """The carried momentum terms must never go non-finite, or a
+        single poisoned round would corrupt every later round."""
+        mci = MomentumInflation(4, InflationConfig())
+        for cong in rounds:
+            mci.update(np.array(cong))
+            assert np.isfinite(mci.delta_rates).all()
+            assert np.isfinite(mci._prev_cong).all()
+            assert np.isfinite(mci._prev_mean)
+
+    @given(st.floats(0.91, 2.0), st.floats(0.91, 2.0))
+    @settings(max_examples=50, deadline=None)
+    def test_custom_range_respected(self, a, b):
+        cfg = InflationConfig(r_min=min(a, b), r_max=max(a, b))
+        mci = MomentumInflation(3, cfg)
+        for cong in ([5.0, -5.0, float("inf")], [float("nan")] * 3):
+            rates = mci.update(np.array(cong))
+            assert (rates >= cfg.r_min - 1e-12).all()
+            assert (rates <= cfg.r_max + 1e-12).all()
+
+
+class TestLambda2Invariants:
+    @given(
+        st.floats(min_value=0.0, max_value=1e30),
+        st.floats(min_value=-1e30, max_value=1e30),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_always_finite(self, wl_l1, cong_l1, n_congested, n_cells):
+        lam2 = congestion_penalty_weight(wl_l1, cong_l1, n_congested, n_cells)
+        assert np.isfinite(lam2)
+        assert lam2 >= 0.0
+
+    @given(st.floats(min_value=0.0, max_value=1e30), st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_zero_when_congestion_gradient_vanishes(self, wl_l1, n_congested):
+        """Eq. (10) divides by the congestion-gradient L1 norm; an
+        all-zero congestion gradient must yield weight 0, not inf."""
+        assert congestion_penalty_weight(wl_l1, 0.0, n_congested, 100) == 0.0
+        assert congestion_penalty_weight(wl_l1, -1.0, n_congested, 100) == 0.0

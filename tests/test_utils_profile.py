@@ -74,7 +74,9 @@ class TestMergeAndSerialise:
         prof.add_time("route.total", 1.25, calls=2)
         prof.count("route.segments", 99)
         data = prof.as_dict()
-        assert data["stages"]["route.total"] == {"time_s": 1.25, "calls": 2}
+        assert data["stages"]["route.total"] == {
+            "time_s": 1.25, "calls": 2, "errors": 0,
+        }
         back = StageProfiler.from_dict(data)
         assert back.as_dict() == data
 
@@ -110,3 +112,59 @@ class TestRouterIntegration:
         # the stage clock covers real work
         assert prof.time_of("route.total") > 0.0
         assert np.isfinite(prof.total())
+
+
+class TestExceptionSafety:
+    def test_raising_stage_keeps_partial_breakdown(self):
+        prof = StageProfiler()
+        with pytest.raises(RuntimeError, match="boom"):
+            with prof.timer("flaky"):
+                raise RuntimeError("boom")
+        assert prof.stages["flaky"].calls == 1
+        assert prof.stages["flaky"].errors == 1
+        assert prof.stages["flaky"].time >= 0.0
+        assert prof.open_stages == []
+
+    def test_nested_raise_closes_all_timers(self):
+        prof = StageProfiler()
+        with pytest.raises(ValueError):
+            with prof.timer("outer"):
+                with prof.timer("inner"):
+                    assert prof.open_stages == ["outer", "inner"]
+                    raise ValueError("inner died")
+        assert prof.open_stages == []
+        assert prof.stages["inner"].errors == 1
+        assert prof.stages["outer"].errors == 1
+        assert prof.stages["inner"].calls == 1
+        assert prof.stages["outer"].calls == 1
+
+    def test_open_stages_tracks_stack(self):
+        prof = StageProfiler()
+        with prof.timer("a"):
+            with prof.timer("b"):
+                assert prof.open_stages == ["a", "b"]
+            assert prof.open_stages == ["a"]
+        assert prof.open_stages == []
+
+    def test_errors_survive_roundtrip_and_merge(self):
+        prof = StageProfiler()
+        with pytest.raises(RuntimeError):
+            with prof.timer("s"):
+                raise RuntimeError
+        back = StageProfiler.from_dict(prof.as_dict())
+        assert back.stages["s"].errors == 1
+        merged = StageProfiler().merge(back).merge(back)
+        assert merged.stages["s"].errors == 2
+
+    def test_report_marks_errors(self):
+        prof = StageProfiler()
+        with pytest.raises(RuntimeError):
+            with prof.timer("bad.stage"):
+                raise RuntimeError
+        assert "!1" in prof.report()
+
+    def test_old_snapshots_still_load(self):
+        back = StageProfiler.from_dict(
+            {"stages": {"s": {"time_s": 1.0, "calls": 2}}, "counters": {}}
+        )
+        assert back.stages["s"].errors == 0

@@ -46,12 +46,16 @@ class GPSeed:
     time: float
 
 
-def make_gp_seed(netlist: Netlist, gp_config: GPConfig | None = None) -> GPSeed:
+def make_gp_seed(
+    netlist: Netlist,
+    gp_config: GPConfig | None = None,
+    metrics=None,
+) -> GPSeed:
     """Run the wirelength-driven GP once, for all flows to start from."""
     nl = netlist.copy()
     timer = Timer().start()
     initial_placement(nl, (gp_config or GPConfig()).seed)
-    converge_placement(nl, gp_config)
+    converge_placement(nl, gp_config, metrics=metrics)
     timer.stop()
     return GPSeed(netlist=nl, time=timer.elapsed)
 
@@ -87,6 +91,7 @@ def run_flow(
     netlist: Netlist,
     rd_config: RDConfig,
     seed_gp: GPSeed | None = None,
+    metrics=None,
 ) -> FlowResult:
     """Routability-driven flow with an arbitrary :class:`RDConfig`."""
     seed_time = 0.0
@@ -97,7 +102,9 @@ def run_flow(
         nl = netlist.copy()
     timer = Timer().start()
     profiler = StageProfiler()
-    placer = RoutabilityDrivenPlacer(nl, rd_config, profiler=profiler)
+    placer = RoutabilityDrivenPlacer(
+        nl, rd_config, profiler=profiler, metrics=metrics
+    )
     rd_result = placer.run(skip_initial_gp=seed_gp is not None)
     with profiler.timer("flow.legalize"):
         lstats = legalize(nl)
@@ -152,15 +159,19 @@ def run_xplace_route(
     netlist: Netlist,
     base: RDConfig | None = None,
     seed_gp: GPSeed | None = None,
+    metrics=None,
 ) -> FlowResult:
     """The leading routability-driven baseline of Table I."""
-    return run_flow("Xplace-Route", netlist, xplace_route_config(base), seed_gp)
+    return run_flow(
+        "Xplace-Route", netlist, xplace_route_config(base), seed_gp, metrics
+    )
 
 
 def run_ours(
     netlist: Netlist,
     base: RDConfig | None = None,
     seed_gp: GPSeed | None = None,
+    metrics=None,
 ) -> FlowResult:
     """The paper's full framework (MCI + DC + DPA)."""
-    return run_flow("Ours", netlist, base or RDConfig(), seed_gp)
+    return run_flow("Ours", netlist, base or RDConfig(), seed_gp, metrics)

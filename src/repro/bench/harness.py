@@ -76,13 +76,20 @@ def run_design(
     gp_config: GPConfig | None = None,
     rd_config: RDConfig | None = None,
     eval_config: EvalConfig | None = None,
+    metrics=None,
 ) -> DesignOutcome:
-    """Run the requested placers on one design and evaluate each."""
+    """Run the requested placers on one design and evaluate each.
+
+    ``metrics`` (a :class:`~repro.utils.metrics.MetricsRegistry`)
+    receives the telemetry of every flow run here; one registry can
+    span a whole suite so the resulting stream/report covers the full
+    bench session.
+    """
     gp = gp_config or _default_gp()
     rd = rd_config or _default_rd(gp)
     ev_cfg = eval_config or EvalConfig()
     grid = evaluation_grid(netlist, ev_cfg)
-    seed_gp = make_gp_seed(netlist, gp)
+    seed_gp = make_gp_seed(netlist, gp, metrics=metrics)
 
     outcome = DesignOutcome(design=netlist.name)
     for placer in placers:
@@ -90,9 +97,9 @@ def run_design(
         if placer == "Xplace":
             flow = run_xplace(netlist, gp, seed_gp)
         elif placer == "Xplace-Route":
-            flow = run_xplace_route(netlist, rd, seed_gp)
+            flow = run_xplace_route(netlist, rd, seed_gp, metrics=metrics)
         elif placer == "Ours":
-            flow = run_ours(netlist, rd, seed_gp)
+            flow = run_ours(netlist, rd, seed_gp, metrics=metrics)
         else:
             raise ValueError(f"unknown placer {placer!r}")
         outcome.flows[placer] = flow
@@ -108,13 +115,16 @@ def run_suite(
     gp_config: GPConfig | None = None,
     rd_config: RDConfig | None = None,
     eval_config: EvalConfig | None = None,
+    metrics=None,
 ) -> list:
     """Run placers over (a subset of) the Table I suite."""
     outcomes = []
     for name in names or suite_names():
         netlist = suite_design(name, scale=scale, seed=seed)
         outcomes.append(
-            run_design(netlist, placers, gp_config, rd_config, eval_config)
+            run_design(
+                netlist, placers, gp_config, rd_config, eval_config, metrics
+            )
         )
     return outcomes
 
@@ -128,8 +138,15 @@ def table_rows(outcomes: list) -> list:
     return rows
 
 
-def bench_payload(outcomes: list, extra: dict | None = None) -> dict:
-    """JSON-ready bench record: metric rows plus per-flow stage profiles."""
+def bench_payload(
+    outcomes: list, extra: dict | None = None, metrics=None
+) -> dict:
+    """JSON-ready bench record: metric rows plus per-flow stage profiles.
+
+    When ``metrics`` is a live registry, its
+    :class:`~repro.utils.metrics.MetricsReport` summary is embedded
+    under ``"telemetry"``.
+    """
     rows = [
         {"design": r.design, "placer": r.placer, "metrics": r.metrics}
         for r in table_rows(outcomes)
@@ -141,14 +158,20 @@ def bench_payload(outcomes: list, extra: dict | None = None) -> dict:
         for outcome in outcomes
     }
     payload = {"rows": rows, "profiles": profiles}
+    if metrics is not None and getattr(metrics, "enabled", False):
+        from repro.utils.metrics import MetricsReport
+
+        payload["telemetry"] = MetricsReport.from_registry(metrics).as_dict()
     if extra:
         payload.update(extra)
     return payload
 
 
-def write_bench_json(path: str, outcomes: list, extra: dict | None = None) -> dict:
+def write_bench_json(
+    path: str, outcomes: list, extra: dict | None = None, metrics=None
+) -> dict:
     """Write :func:`bench_payload` to ``path`` (parent dirs created)."""
-    payload = bench_payload(outcomes, extra)
+    payload = bench_payload(outcomes, extra, metrics)
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=1)

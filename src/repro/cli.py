@@ -12,7 +12,34 @@ plot    dump placement SVG and congestion heatmap PPM
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+
+
+def _open_metrics(args: argparse.Namespace, command: str, resumed: bool = False):
+    """Build the registry for ``--metrics-out`` (or the disabled NULL).
+
+    Returns ``(metrics, finish)`` where ``finish()`` closes the stream
+    and returns a rendered :class:`~repro.utils.metrics.MetricsReport`
+    (``None`` when telemetry is disabled).  A resumed flow appends to
+    the existing stream; the new segment starts with its own
+    ``run.start`` event carrying ``resumed: true``.
+    """
+    from repro.utils.metrics import NULL, JsonlSink, MetricsRegistry, MetricsReport
+
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        return NULL, lambda: None
+
+    append = resumed and os.path.exists(path)
+    metrics = MetricsRegistry(sink=JsonlSink(path, append=append))
+    metrics.start_run(command=command, design=args.input, resumed=append)
+
+    def finish():
+        metrics.close()
+        return MetricsReport.from_jsonl(path).render(f"metrics report ({path})")
+
+    return metrics, finish
 
 
 def _load_validated(path: str):
@@ -62,8 +89,12 @@ def _cmd_place(args: argparse.Namespace) -> int:
     netlist = _load_validated(args.input)
     gp = GPConfig(max_iters=args.iters)
     profiler = StageProfiler()
+    resuming = args.checkpoint is not None and os.path.exists(args.checkpoint)
+    metrics, finish_metrics = _open_metrics(args, "place", resumed=resuming)
     if args.routability:
-        placer = RoutabilityDrivenPlacer(netlist, RDConfig(gp=gp), profiler=profiler)
+        placer = RoutabilityDrivenPlacer(
+            netlist, RDConfig(gp=gp), profiler=profiler, metrics=metrics
+        )
         result = placer.run(
             checkpoint_path=args.checkpoint,
             resume=args.checkpoint is not None,
@@ -80,7 +111,7 @@ def _cmd_place(args: argparse.Namespace) -> int:
         grid = placer.gp.grid
     else:
         initial_placement(netlist, gp.seed)
-        converge_placement(netlist, gp, profiler=profiler)
+        converge_placement(netlist, gp, profiler=profiler, metrics=metrics)
         congestion = None
         grid = None
     with profiler.timer("flow.legalize"):
@@ -92,6 +123,9 @@ def _cmd_place(args: argparse.Namespace) -> int:
           f"{'CLEAN' if not issues else f'{len(issues)} issues'}")
     save_design(netlist, args.out)
     print(f"wrote {args.out}")
+    report = finish_metrics()
+    if report:
+        print(report)
     if args.profile:
         print(profiler.report("stage profile (wall-clock)"))
     return 0
@@ -107,14 +141,20 @@ def _cmd_route(args: argparse.Namespace) -> int:
     dim = args.grid or auto_grid_dim(netlist.n_cells)
     grid = Grid2D(netlist.die, dim, dim)
     profiler = StageProfiler()
+    metrics, finish_metrics = _open_metrics(args, "route")
     config = RouterConfig(engine=args.engine)
-    result = GlobalRouter(grid, config, profiler=profiler).route(netlist)
+    result = GlobalRouter(
+        grid, config, profiler=profiler, metrics=metrics
+    ).route(netlist)
     util = result.utilization_map
     print(f"segments={result.n_segments} wirelength={result.wirelength:.0f} "
           f"vias={result.n_vias:.0f}")
     print(f"utilization mean={util.mean():.3f} max={util.max():.2f} "
           f"overflow={result.total_overflow:.0f} "
           f"congested={(result.congestion_map > 0).mean() * 100:.1f}%")
+    report = finish_metrics()
+    if report:
+        print(report)
     if args.profile:
         print(profiler.report("stage profile (wall-clock)"))
     return 0
@@ -175,6 +215,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(requires --routability)")
     p.add_argument("--profile", action="store_true",
                    help="print the per-stage wall-clock breakdown")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="stream run telemetry to PATH as JSONL (one event "
+                        "per line; appended on checkpoint resume) and print "
+                        "the metrics report")
     p.set_defaults(func=_cmd_place)
 
     p = sub.add_parser("route", help="route a placed design")
@@ -184,6 +228,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="routing engine (scalar = reference implementation)")
     p.add_argument("--profile", action="store_true",
                    help="print the per-stage wall-clock breakdown")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="stream run telemetry to PATH as JSONL and print "
+                        "the metrics report")
     p.set_defaults(func=_cmd_route)
 
     p = sub.add_parser("eval", help="score a placed design")

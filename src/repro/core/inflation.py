@@ -56,6 +56,10 @@ class MomentumInflation:
         self._prev_cong: np.ndarray | None = None
         self._prev_mean: float = 0.0
         self.round = 0
+        # diagnostics of the most recent update (telemetry only, not
+        # part of the resumable state): cells whose Eq. 12 correction
+        # fired negative this round
+        self.last_n_deflated = 0
 
     # ------------------------------------------------------------------
     def update(self, congestion_at_cells: np.ndarray) -> np.ndarray:
@@ -80,6 +84,7 @@ class MomentumInflation:
         np.clip(c, -1e12, 1e12, out=c)
         self.round += 1
 
+        self.last_n_deflated = 0
         if self.round == 1:
             # paper: dr^1 = C^1
             self.delta_rates = c.copy()
@@ -107,6 +112,7 @@ class MomentumInflation:
         delta = np.ones_like(c)
         if mean_now > 0.0 and self._prev_mean > 0.0:
             deflate = (c < mean_now) & (prev > self._prev_mean)
+            self.last_n_deflated = int(deflate.sum())
             if deflate.any():
                 strength = np.abs(
                     (prev * mean_now - c * self._prev_mean)

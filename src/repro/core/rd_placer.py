@@ -65,6 +65,7 @@ from repro.utils.checkpoint import (
 )
 from repro.utils.guards import GuardEvent, GuardLog, all_finite, scrub_nonfinite
 from repro.utils.logging import get_logger
+from repro.utils.metrics import NULL
 from repro.utils.profile import StageProfiler
 from repro.utils.timer import Timer
 from repro.wirelength.hpwl import hpwl as hpwl_of
@@ -134,6 +135,15 @@ class RoundRecord:
     scalar routing degradations in the pass that produced this round's
     congestion; ``guard_trips`` is the cumulative solver guard-trip
     count at record time.
+
+    ``n_deflated`` counts cells whose Eq. 12 deflation correction fired
+    in this round's MCI update.  ``netmove_grad_l1`` /
+    ``multipin_grad_l1`` are the L1 norms of the Alg. 1 / Alg. 2
+    gradients at the *last* solver evaluation before this record (zero
+    in round 0, where no congestion gradient has run yet).
+    ``dpa_bins`` / ``dpa_charge`` summarise this round's dynamic
+    pin-accessibility adjustment: bins receiving extra density and the
+    total extra charge (Eq. 14-15).
     """
 
     round_id: int
@@ -150,6 +160,11 @@ class RoundRecord:
     recovery: list = field(default_factory=list)
     router_fallbacks: int = 0
     guard_trips: int = 0
+    n_deflated: int = 0
+    netmove_grad_l1: float = 0.0
+    multipin_grad_l1: float = 0.0
+    dpa_bins: int = 0
+    dpa_charge: float = 0.0
 
 
 @dataclass
@@ -211,13 +226,20 @@ class RoutabilityDrivenPlacer:
         netlist: Netlist,
         config: RDConfig | None = None,
         profiler: StageProfiler | None = None,
+        metrics=None,
     ) -> None:
         self.netlist = netlist
         self.config = config or RDConfig()
         self.profiler = profiler or StageProfiler()
-        self.gp = GlobalPlacer(netlist, self.config.gp, profiler=self.profiler)
+        self.metrics = metrics if metrics is not None else NULL
+        self.gp = GlobalPlacer(
+            netlist, self.config.gp, profiler=self.profiler, metrics=self.metrics
+        )
         self.router = GlobalRouter(
-            self.gp.grid, self.config.router, profiler=self.profiler
+            self.gp.grid,
+            self.config.router,
+            profiler=self.profiler,
+            metrics=self.metrics,
         )
         self.inflation = MomentumInflation(netlist.n_cells, self.config.inflation)
         std = netlist.movable & ~netlist.cell_macro
@@ -225,6 +247,12 @@ class RoutabilityDrivenPlacer:
             float(netlist.cell_area[std].mean()) if std.any() else 1.0
         )
         self.last_lambda2 = 0.0
+        # L1 norms of the Alg. 1 / Alg. 2 gradients at the most recent
+        # solver evaluation (telemetry; see RoundRecord)
+        self.last_netmove_l1 = 0.0
+        self.last_multipin_l1 = 0.0
+        # (bins adjusted, total charge) of the most recent DPA update
+        self._last_dpa = (0, 0.0)
         self.recovery_log = GuardLog()
         self._pending_recovery: list = []
 
@@ -258,6 +286,8 @@ class RoutabilityDrivenPlacer:
         state: _FlowState | None = None
         if resume and checkpoint_path and os.path.exists(checkpoint_path):
             state = self._load_flow_checkpoint(checkpoint_path)
+            if self.metrics.enabled:
+                self.metrics.emit("rd.resume", round=state.next_round)
             logger.info(
                 "resumed flow from %s at round %d",
                 checkpoint_path,
@@ -334,6 +364,17 @@ class RoutabilityDrivenPlacer:
     def _start_flow(self, skip_initial_gp: bool) -> _FlowState:
         """Rails + initial wirelength-driven GP + first routing pass."""
         cfg = self.config
+        if self.metrics.enabled:
+            nl = self.netlist
+            self.metrics.emit(
+                "rd.start",
+                design=nl.name,
+                n_cells=int(nl.n_cells),
+                n_nets=int(nl.n_nets),
+                inflation_mode=cfg.inflation_mode,
+                pg_mode=cfg.pg_mode,
+                enable_dc=cfg.enable_dc,
+            )
         state = _FlowState()
         state.rail_area = self.gp.grid.zeros()
         if cfg.pg_mode == "dynamic":
@@ -353,7 +394,12 @@ class RoutabilityDrivenPlacer:
 
             with self.profiler.timer("rd.initial_gp"):
                 initial_placement(self.netlist, cfg.gp.seed)
-                converge_placement(self.netlist, cfg.gp, profiler=self.profiler)
+                converge_placement(
+                    self.netlist,
+                    cfg.gp,
+                    profiler=self.profiler,
+                    metrics=self.metrics,
+                )
         state.initial_iters = len(self.gp.history)
 
         with self.profiler.timer("rd.route"):
@@ -400,9 +446,13 @@ class RoutabilityDrivenPlacer:
 
         if cfg.pg_mode == "dynamic":
             with self.profiler.timer("rd.pinaccess"):
-                self.gp.extra_static_charge = pg_density_charge(
+                charge = pg_density_charge(
                     self.gp.grid, state.rail_area, c_map, cfg.pinaccess
                 )
+                self.gp.extra_static_charge = charge
+                self._last_dpa = (int((charge > 0).sum()), float(charge.sum()))
+        else:
+            self._last_dpa = (0, 0.0)
 
         if cfg.enable_dc:
             self.gp.extra_grad_fn = self._make_congestion_grad(fld, c_map)
@@ -412,6 +462,8 @@ class RoutabilityDrivenPlacer:
         with self.profiler.timer("rd.record"):
             record = self._record_round(round_id, routing, fld, c_map)
         state.rounds.append(record)
+        if self.metrics.enabled:
+            self._emit_round(record)
         if record.mean_congestion < cfg.stop_mean_congestion:
             logger.info(
                 "round %d: congestion negligible (%.2e), stopping",
@@ -518,6 +570,15 @@ class RoutabilityDrivenPlacer:
     ) -> None:
         logger.warning("round %d: %s (%s)", round_id, detail, action)
         self.profiler.count("rd.recoveries")
+        if self.metrics.enabled:
+            self.metrics.inc("rd.recoveries")
+            self.metrics.emit(
+                "rd.recovery",
+                round=round_id,
+                guard=kind,
+                detail=detail,
+                action=action,
+            )
         self.recovery_log.record(
             GuardEvent(
                 site="rd.flow",
@@ -662,6 +723,9 @@ class RoutabilityDrivenPlacer:
 
         with self.profiler.timer("rd.checkpoint"):
             write_checkpoint(path, meta, arrays)
+        if self.metrics.enabled:
+            self.metrics.inc("rd.checkpoints")
+            self.metrics.emit("rd.checkpoint", round=state.next_round)
         logger.info(
             "checkpoint written to %s (next round %d)", path, state.next_round
         )
@@ -844,6 +908,12 @@ class RoutabilityDrivenPlacer:
             cell_gx, cell_gy, _ = multi_pin_cell_gradients(
                 nl, grid, c_map, fld, cfg.multipin_threshold
             )
+            self.last_netmove_l1 = float(
+                np.abs(net_gx).sum() + np.abs(net_gy).sum()
+            )
+            self.last_multipin_l1 = float(
+                np.abs(cell_gx).sum() + np.abs(cell_gy).sum()
+            )
             gx = net_gx + cell_gx
             gy = net_gy + cell_gy
             l1 = float(np.abs(gx).sum() + np.abs(gy).sum())
@@ -902,4 +972,38 @@ class RoutabilityDrivenPlacer:
             recovery=recovery,
             router_fallbacks=routing.n_fallbacks,
             guard_trips=len(self.gp.guard_log),
+            n_deflated=self.inflation.last_n_deflated,
+            netmove_grad_l1=self.last_netmove_l1,
+            multipin_grad_l1=self.last_multipin_l1,
+            dpa_bins=self._last_dpa[0],
+            dpa_charge=self._last_dpa[1],
+        )
+
+    def _emit_round(self, record: RoundRecord) -> None:
+        """One ``rd.round`` telemetry event mirroring the record."""
+        m = self.metrics
+        m.inc("rd.rounds")
+        m.observe("rd.total_overflow", record.total_overflow)
+        m.gauge("rd.mean_inflation", record.mean_inflation)
+        m.emit(
+            "rd.round",
+            round=record.round_id,
+            c_value=record.c_value,
+            mean_congestion=record.mean_congestion,
+            max_congestion=record.max_congestion,
+            congested_fraction=record.congested_fraction,
+            total_overflow=record.total_overflow,
+            hpwl=record.hpwl,
+            lambda2=record.lambda2,
+            n_congested_cells=record.n_congested_cells,
+            mean_inflation=record.mean_inflation,
+            max_inflation=record.max_inflation,
+            n_deflated=record.n_deflated,
+            netmove_grad_l1=record.netmove_grad_l1,
+            multipin_grad_l1=record.multipin_grad_l1,
+            dpa_bins=record.dpa_bins,
+            dpa_charge=record.dpa_charge,
+            router_fallbacks=record.router_fallbacks,
+            guard_trips=record.guard_trips,
+            n_recoveries=len(record.recovery),
         )

@@ -40,6 +40,7 @@ from repro.utils.guards import (
     scrub_nonfinite,
 )
 from repro.utils.logging import get_logger
+from repro.utils.metrics import NULL
 from repro.utils.profile import StageProfiler
 from repro.wirelength.hpwl import hpwl
 from repro.wirelength.wa import WAWirelength
@@ -82,10 +83,12 @@ class GlobalPlacer:
         netlist: Netlist,
         config: GPConfig | None = None,
         profiler: StageProfiler | None = None,
+        metrics=None,
     ) -> None:
         self.netlist = netlist
         self.config = config or GPConfig()
         self.profiler = profiler or StageProfiler()
+        self.metrics = metrics if metrics is not None else NULL
         cfg = self.config
 
         nx = cfg.grid_nx or auto_grid_dim(netlist.n_cells)
@@ -386,6 +389,18 @@ class GlobalPlacer:
                 grad_norm=info["grad_norm"],
                 density_weight=self.density_weight,
             )
+            # disabled telemetry must stay off the hot path: one
+            # attribute read, no dict building
+            if self.metrics.enabled:
+                self.metrics.emit(
+                    "gp.iter",
+                    iter=len(self.history),
+                    hpwl=cur_hpwl,
+                    overflow=overflow,
+                    density_weight=self.density_weight,
+                    step=info["step"],
+                    grad_norm=info["grad_norm"],
+                )
             if cfg.verbose and it % 20 == 0:
                 logger.warning(
                     "iter %4d  hpwl %.4e  ovfl %.4f  lambda %.3e",
@@ -461,6 +476,11 @@ class GlobalPlacer:
             )
         )
         self.profiler.count("gp.guard_trips")
+        if self.metrics.enabled:
+            self.metrics.inc("gp.guard_trips")
+            self.metrics.emit(
+                "gp.guard", iter=len(self.history), guard=kind, detail=detail
+            )
         logger.warning("divergence guard tripped (%s): %s", kind, detail)
         opt = self._optimizer
         if self._last_good is not None:
@@ -579,6 +599,7 @@ def converge_placement(
     burst_iters: int = 50,
     hpwl_tol: float = 0.01,
     profiler: StageProfiler | None = None,
+    metrics=None,
 ) -> int:
     """Drive a wirelength-driven GP to its practical fixed point.
 
@@ -598,7 +619,7 @@ def converge_placement(
     prev: float | None = None
     total = 0
     for batch in range(max_batches):
-        placer = GlobalPlacer(netlist, cfg, profiler=profiler)
+        placer = GlobalPlacer(netlist, cfg, profiler=profiler, metrics=metrics)
         if batch == 0:
             placer.run()
         placer.run_bursts(bursts_per_batch, burst_iters)

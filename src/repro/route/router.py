@@ -38,6 +38,7 @@ from repro.route.grid import RoutingGrid
 from repro.route.patterns import PatternRouter, RoutedPath, RoutedPathBatch
 from repro.utils import faults
 from repro.utils.logging import get_logger
+from repro.utils.metrics import NULL
 from repro.utils.profile import StageProfiler
 
 logger = get_logger("route.router")
@@ -93,10 +94,12 @@ class GlobalRouter:
         grid: Grid2D,
         config: RouterConfig | None = None,
         profiler: StageProfiler | None = None,
+        metrics=None,
     ) -> None:
         self.grid = grid
         self.config = config or RouterConfig()
         self.profiler = profiler or StageProfiler()
+        self.metrics = metrics if metrics is not None else NULL
         self._pass_fallbacks = 0
 
     # ------------------------------------------------------------------
@@ -113,20 +116,46 @@ class GlobalRouter:
         self._pass_fallbacks = 0
         with self.profiler.timer("route.total"):
             if self.config.engine == "scalar":
-                return self._route_scalar(netlist)
-            try:
-                faults.fire("route.batched")
-                return self._route_batched(netlist)
-            except Exception:
-                logger.exception(
-                    "batched routing engine failed; falling back to the "
-                    "scalar engine for this pass"
-                )
-                self.profiler.count("route.engine_fallbacks")
-                self._pass_fallbacks += 1
                 result = self._route_scalar(netlist)
-                result.n_fallbacks = self._pass_fallbacks
-                return result
+            else:
+                try:
+                    faults.fire("route.batched")
+                    result = self._route_batched(netlist)
+                except Exception:
+                    logger.exception(
+                        "batched routing engine failed; falling back to the "
+                        "scalar engine for this pass"
+                    )
+                    self.profiler.count("route.engine_fallbacks")
+                    self._pass_fallbacks += 1
+                    result = self._route_scalar(netlist)
+                    result.n_fallbacks = self._pass_fallbacks
+        self._emit_pass(result)
+        return result
+
+    def _emit_pass(self, result: RoutingResult) -> None:
+        """Per-pass demand/capacity/overflow telemetry summary."""
+        m = self.metrics
+        if not m.enabled:
+            return
+        rgrid = result.grid
+        util = result.utilization_map
+        m.inc("route.passes")
+        m.observe("route.overflow", result.total_overflow)
+        m.emit(
+            "route.pass",
+            n_segments=result.n_segments,
+            wirelength=result.wirelength,
+            vias=result.n_vias,
+            total_overflow=result.total_overflow,
+            h_demand=float(rgrid.h_demand.sum()),
+            v_demand=float(rgrid.v_demand.sum()),
+            h_cap=float(rgrid.h_cap.sum()),
+            v_cap=float(rgrid.v_cap.sum()),
+            max_utilization=float(util.max()) if util.size else 0.0,
+            n_fallbacks=result.n_fallbacks,
+            engine=self.config.engine,
+        )
 
     # ==================================================================
     # batched engine

@@ -1,8 +1,40 @@
-"""Shared utilities: logging, seeded RNG helpers, timers, profiling."""
+"""Shared utilities: logging, seeded RNG, timers, profiling, telemetry."""
 
+from repro.utils.clock import Clock, FakeClock, SystemClock
 from repro.utils.logging import get_logger
+from repro.utils.metrics import (
+    NULL,
+    JsonlSink,
+    MemorySink,
+    MetricsConfig,
+    MetricsError,
+    MetricsRegistry,
+    MetricsReport,
+    NullMetrics,
+    validate_event,
+    validate_stream,
+)
 from repro.utils.profile import StageProfiler, StageStats
 from repro.utils.rng import make_rng
 from repro.utils.timer import Timer
 
-__all__ = ["get_logger", "make_rng", "StageProfiler", "StageStats", "Timer"]
+__all__ = [
+    "get_logger",
+    "make_rng",
+    "Clock",
+    "FakeClock",
+    "SystemClock",
+    "StageProfiler",
+    "StageStats",
+    "Timer",
+    "NULL",
+    "NullMetrics",
+    "MetricsConfig",
+    "MetricsError",
+    "MetricsRegistry",
+    "MetricsReport",
+    "JsonlSink",
+    "MemorySink",
+    "validate_event",
+    "validate_stream",
+]

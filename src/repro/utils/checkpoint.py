@@ -8,6 +8,12 @@ arrays; both round-trip losslessly (arrays bit-exact) through one
 that is ``os.replace``d over the target, so a crash mid-write can
 never leave a truncated checkpoint behind.
 
+The bytes are *deterministic*: the archive is assembled with fixed zip
+timestamps and members in insertion order, so two checkpoints of the
+same state are bit-identical files (``np.savez`` would stamp each
+member with the current local time).  The e2e determinism test
+compares checkpoint files byte-for-byte across runs.
+
 Pickle is disabled on both ends: a checkpoint is data, not code.
 """
 
@@ -16,6 +22,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import zipfile
 
 import numpy as np
 
@@ -43,15 +50,30 @@ def _json_default(obj):
     raise TypeError(f"{type(obj).__name__} is not checkpoint-serializable")
 
 
+# fixed member timestamp (the zip epoch) => byte-stable archives
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+
 def write_checkpoint(path: str, meta: dict, arrays: dict) -> None:
-    """Atomically write ``meta`` + ``arrays`` to ``path`` (.npz)."""
+    """Atomically write ``meta`` + ``arrays`` to ``path`` (.npz).
+
+    The file is a standard npz (``np.load`` reads it back) but written
+    with deterministic bytes: fixed member timestamps instead of the
+    wall clock ``np.savez`` would use.
+    """
     payload = {_META_KEY: np.array(json.dumps(meta, default=_json_default))}
     for name, arr in arrays.items():
         if name == _META_KEY:
             raise ValueError(f"array name {name!r} is reserved")
         payload[name] = np.asarray(arr)
     buf = io.BytesIO()
-    np.savez_compressed(buf, **payload)
+    with zipfile.ZipFile(buf, "w", zipfile.ZIP_DEFLATED) as zf:
+        for name, arr in payload.items():
+            info = zipfile.ZipInfo(name + ".npy", date_time=_ZIP_EPOCH)
+            info.compress_type = zipfile.ZIP_DEFLATED
+            info.external_attr = 0o600 << 16
+            with zf.open(info, "w") as member:
+                np.lib.format.write_array(member, arr, allow_pickle=False)
     tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "wb") as handle:
         handle.write(buf.getvalue())

@@ -1,0 +1,529 @@
+"""Run telemetry: metric aggregates plus a structured JSONL event stream.
+
+A :class:`MetricsRegistry` collects what the algorithms *did* during a
+run — counters, gauges, histograms and per-iteration event series —
+and streams every event to a sink as one JSON line.  The flow
+components (:class:`~repro.place.global_placer.GlobalPlacer`,
+:class:`~repro.core.rd_placer.RoutabilityDrivenPlacer`,
+:class:`~repro.route.router.GlobalRouter`) accept a shared registry,
+the CLI exposes it as ``--metrics-out``, and the bench harness embeds
+the resulting report in ``BENCH_*.json`` payloads.
+
+Design constraints, in order:
+
+* **near-zero overhead when disabled** — the module-level :data:`NULL`
+  registry has ``enabled = False`` and no-op methods; hot loops guard
+  each emission with ``if metrics.enabled:`` so a disabled run pays one
+  attribute read per iteration (asserted by a micro-benchmark test);
+* **deterministic by default** — events carry a schema version, a
+  sequence number and structured fields, but *no* wall-clock timestamp
+  unless ``MetricsConfig(record_time=True)``; two runs with the same
+  seed therefore produce bit-identical streams (the e2e determinism
+  test relies on this);
+* **resume-consistent** — a resumed flow appends to the same JSONL
+  file; each run segment starts with a ``run.start`` event (with
+  ``resumed: true`` on continuation) and sequence numbers restart per
+  segment, so :func:`validate_stream` accepts concatenated segments.
+
+Event schema (version :data:`SCHEMA_VERSION`)
+---------------------------------------------
+Every event is one JSON object per line with at least::
+
+    {"v": 1, "seq": <int>, "kind": "<str>", ...}
+
+``seq`` is contiguous from 0 within a run segment.  ``t`` (monotonic
+seconds from the registry's clock) appears only when timestamps are
+enabled.  Known kinds and their required fields are listed in
+:data:`EVENT_FIELDS`; unknown kinds are allowed (forward
+compatibility) but must still carry the envelope keys.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.utils.clock import Clock, SystemClock
+
+SCHEMA_VERSION = 1
+
+#: Required per-kind fields beyond the ``v``/``seq``/``kind`` envelope.
+#: Unknown kinds are accepted by validation; known kinds must carry at
+#: least these fields (extra fields are always allowed).
+EVENT_FIELDS: dict = {
+    "run.start": (),
+    "run.end": ("counters", "gauges", "histograms"),
+    # one per GlobalPlacer solver iteration
+    "gp.iter": ("iter", "hpwl", "overflow", "density_weight", "step", "grad_norm"),
+    # one per divergence-guard trip inside the placer loop
+    "gp.guard": ("iter", "guard", "detail"),
+    # one per routability round (mirrors RoundRecord)
+    "rd.round": (
+        "round",
+        "c_value",
+        "mean_congestion",
+        "max_congestion",
+        "total_overflow",
+        "hpwl",
+        "lambda2",
+        "mean_inflation",
+        "max_inflation",
+        "n_deflated",
+        "netmove_grad_l1",
+        "multipin_grad_l1",
+        "dpa_bins",
+        "dpa_charge",
+        "router_fallbacks",
+    ),
+    # one per guard/sanitize recovery in the routability flow
+    "rd.recovery": ("round", "guard", "detail", "action"),
+    # flow lifecycle markers
+    "rd.start": ("design", "n_cells", "n_nets"),
+    "rd.resume": ("round",),
+    "rd.checkpoint": ("round",),
+    # one per global-routing pass
+    "route.pass": (
+        "n_segments",
+        "wirelength",
+        "vias",
+        "total_overflow",
+        "h_demand",
+        "v_demand",
+        "h_cap",
+        "v_cap",
+        "max_utilization",
+        "n_fallbacks",
+        "engine",
+    ),
+}
+
+
+class MetricsError(ValueError):
+    """An event or stream violating the metrics schema."""
+
+
+# ----------------------------------------------------------------------
+# sinks
+# ----------------------------------------------------------------------
+class MemorySink:
+    """Keeps emitted JSON lines in memory (tests, reports)."""
+
+    def __init__(self) -> None:
+        self.lines: list = []
+
+    def write(self, line: str) -> None:
+        self.lines.append(line)
+
+    def flush(self) -> None:  # noqa: D102 — nothing buffered
+        pass
+
+    def close(self) -> None:  # noqa: D102
+        pass
+
+
+class JsonlSink:
+    """Buffered JSONL file sink.
+
+    Lines are buffered and written in batches of ``buffer_lines`` (and
+    on :meth:`flush`/:meth:`close`), so per-event cost in the hot loop
+    is a list append, not a syscall.  ``append=True`` continues an
+    existing stream (resumed runs); otherwise the file is truncated.
+    """
+
+    def __init__(self, path: str, append: bool = False, buffer_lines: int = 256):
+        if buffer_lines < 1:
+            raise ValueError("buffer_lines must be >= 1")
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self.path = path
+        self.buffer_lines = buffer_lines
+        self._buffer: list = []
+        self._fh = open(path, "a" if append else "w")
+
+    def write(self, line: str) -> None:
+        self._buffer.append(line)
+        if len(self._buffer) >= self.buffer_lines:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# aggregates
+# ----------------------------------------------------------------------
+@dataclass
+class HistStats:
+    """Streaming histogram summary (count / sum / min / max)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def as_dict(self) -> dict:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": None}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count,
+        }
+
+
+# ----------------------------------------------------------------------
+# registries
+# ----------------------------------------------------------------------
+class NullMetrics:
+    """Disabled telemetry: every operation is a no-op.
+
+    The flow components default to the shared :data:`NULL` instance, so
+    an uninstrumented run never builds event dicts, never serialises
+    JSON and never touches a sink — hot loops check ``enabled`` first
+    and skip even the keyword-argument packing.
+    """
+
+    enabled = False
+
+    def inc(self, name: str, n: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def emit(self, kind: str, **fields) -> None:
+        pass
+
+    def start_run(self, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+
+#: Shared disabled registry — the default everywhere.
+NULL = NullMetrics()
+
+
+@dataclass
+class MetricsConfig:
+    """Telemetry knobs.
+
+    Attributes
+    ----------
+    record_time:
+        Add a ``t`` field (monotonic seconds from the registry clock)
+        to every event.  Off by default so equal-seed runs emit
+        bit-identical streams.
+    max_series:
+        In-memory cap on retained events per kind (the JSONL sink still
+        receives everything; the cap only bounds report memory).
+    """
+
+    record_time: bool = False
+    max_series: int = 200_000
+
+
+class MetricsRegistry:
+    """Enabled telemetry: aggregates in memory, events to the sink.
+
+    ``inc``/``gauge``/``observe`` update aggregates only (no event per
+    call — they are for totals the final snapshot reports).  ``emit``
+    appends one schema-versioned event to the sink and to the in-memory
+    per-kind series.  :meth:`close` writes a ``run.end`` event carrying
+    the aggregate snapshot, making the JSONL stream self-contained.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink=None,
+        config: MetricsConfig | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.sink = sink if sink is not None else MemorySink()
+        self.config = config or MetricsConfig()
+        self.clock = clock or SystemClock()
+        self.counters: dict = {}
+        self.gauges: dict = {}
+        self.histograms: dict = {}
+        self.series: dict = {}
+        self._seq = 0
+        self._closed = False
+
+    # ---------------------------------------------------------- aggregates
+    def inc(self, name: str, n: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = HistStats()
+        hist.observe(value)
+
+    def snapshot(self) -> dict:
+        """JSON-ready aggregate state."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: h.as_dict() for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    # ------------------------------------------------------------- events
+    def start_run(self, **fields) -> dict:
+        """Begin a run segment (``run.start``); resets the sequence."""
+        self._seq = 0
+        return self.emit("run.start", **fields)
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Append one event to the stream (and the in-memory series)."""
+        if self._closed:
+            raise MetricsError("emit() on a closed MetricsRegistry")
+        if self._seq == 0 and kind != "run.start":
+            # streams always begin with a run.start marker; emitting it
+            # lazily keeps ad-hoc registry use schema-valid
+            self._append({"v": SCHEMA_VERSION, "seq": 0, "kind": "run.start"})
+        event = {"v": SCHEMA_VERSION, "seq": self._seq, "kind": kind}
+        if self.config.record_time:
+            event["t"] = self.clock.now()
+        event.update(fields)
+        self._append(event)
+        return event
+
+    def _append(self, event: dict) -> None:
+        self._seq = event["seq"] + 1
+        bucket = self.series.setdefault(event["kind"], [])
+        if len(bucket) < self.config.max_series:
+            bucket.append(event)
+        self.sink.write(json.dumps(event, separators=(",", ":")))
+
+    def flush(self) -> None:
+        self.sink.flush()
+
+    def close(self) -> None:
+        """Emit ``run.end`` with the aggregate snapshot and close the sink."""
+        if self._closed:
+            return
+        self.emit("run.end", **self.snapshot())
+        self._closed = True
+        self.sink.close()
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def validate_event(event: dict) -> None:
+    """Check one event against the schema; raises :class:`MetricsError`."""
+    if not isinstance(event, dict):
+        raise MetricsError(f"event is not an object: {event!r}")
+    for key in ("v", "seq", "kind"):
+        if key not in event:
+            raise MetricsError(f"event missing envelope key {key!r}: {event!r}")
+    if event["v"] != SCHEMA_VERSION:
+        raise MetricsError(f"unsupported schema version {event['v']!r}")
+    if not isinstance(event["seq"], int) or event["seq"] < 0:
+        raise MetricsError(f"seq must be a non-negative int: {event['seq']!r}")
+    if not isinstance(event["kind"], str) or not event["kind"]:
+        raise MetricsError(f"kind must be a non-empty string: {event['kind']!r}")
+    required = EVENT_FIELDS.get(event["kind"])
+    if required:
+        missing = [f for f in required if f not in event]
+        if missing:
+            raise MetricsError(
+                f"{event['kind']!r} event missing fields {missing}: {event!r}"
+            )
+
+
+def validate_stream(events: list) -> None:
+    """Validate a full stream (possibly several appended run segments).
+
+    Each segment must start with ``run.start`` at ``seq == 0`` and be
+    seq-contiguous until the next ``run.start``.
+    """
+    if not events:
+        raise MetricsError("empty metrics stream")
+    expected = 0
+    for k, event in enumerate(events):
+        validate_event(event)
+        if event["kind"] == "run.start":
+            if event["seq"] != 0:
+                raise MetricsError(f"run.start at seq {event['seq']} (line {k})")
+            expected = 1
+            continue
+        if k == 0:
+            raise MetricsError("stream does not begin with run.start")
+        if event["seq"] != expected:
+            raise MetricsError(
+                f"seq gap at line {k}: got {event['seq']}, expected {expected}"
+            )
+        expected += 1
+
+
+def read_jsonl(path: str) -> list:
+    """Parse a JSONL metrics file into a list of event dicts."""
+    events = []
+    with open(path) as fh:
+        for k, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise MetricsError(f"{path}:{k + 1}: invalid JSON: {exc}") from exc
+    return events
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+_SUMMARY_SKIP = frozenset(("v", "seq", "kind", "t"))
+
+
+@dataclass
+class MetricsReport:
+    """Run summary derived from an event stream.
+
+    Aggregates per-kind event counts, numeric field trajectories
+    (first / last / min / max over each series) and the final
+    ``run.end`` snapshot; renders as text (:meth:`render`) or JSON
+    (:meth:`as_dict`).
+    """
+
+    events: list = field(default_factory=list)
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "MetricsReport":
+        return cls(events=read_jsonl(path))
+
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry) -> "MetricsReport":
+        events = [e for kind in registry.series.values() for e in kind]
+        events.sort(key=lambda e: (e.get("segment", 0), e["seq"]))
+        report = cls(events=events)
+        # a live registry may not have emitted run.end yet; graft the
+        # current aggregate snapshot so the report is complete
+        if not any(e["kind"] == "run.end" for e in events):
+            report._snapshot = registry.snapshot()
+        return report
+
+    _snapshot: dict | None = None
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        kinds: dict = {}
+        series: dict = {}
+        segments = 0
+        snapshot = self._snapshot
+        for event in self.events:
+            kind = event["kind"]
+            kinds[kind] = kinds.get(kind, 0) + 1
+            if kind == "run.start":
+                segments += 1
+            if kind == "run.end":
+                snapshot = {
+                    "counters": event.get("counters", {}),
+                    "gauges": event.get("gauges", {}),
+                    "histograms": event.get("histograms", {}),
+                }
+                continue
+            summary = series.setdefault(kind, {})
+            for name, value in event.items():
+                if name in _SUMMARY_SKIP or isinstance(value, (str, list, dict)):
+                    continue
+                if isinstance(value, bool):
+                    continue
+                st = summary.get(name)
+                if st is None:
+                    summary[name] = {
+                        "first": value, "last": value, "min": value, "max": value,
+                    }
+                else:
+                    st["last"] = value
+                    if value < st["min"]:
+                        st["min"] = value
+                    if value > st["max"]:
+                        st["max"] = value
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "n_events": len(self.events),
+            "segments": segments,
+            "kinds": dict(sorted(kinds.items())),
+            "series": {k: series[k] for k in sorted(series)},
+            "snapshot": snapshot or {"counters": {}, "gauges": {}, "histograms": {}},
+        }
+
+    def to_json(self, path: str) -> dict:
+        payload = self.as_dict()
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=1)
+        return payload
+
+    def render(self, title: str = "metrics report") -> str:
+        data = self.as_dict()
+        lines = [
+            title,
+            f"  events: {data['n_events']}  segments: {data['segments']}",
+        ]
+        for kind, count in data["kinds"].items():
+            lines.append(f"  {kind:<16} x{count}")
+        for kind, summary in data["series"].items():
+            for name, st in sorted(summary.items()):
+                lines.append(
+                    f"    {kind}.{name:<22} first {st['first']:.6g}"
+                    f"  last {st['last']:.6g}"
+                    f"  min {st['min']:.6g}  max {st['max']:.6g}"
+                )
+        snap = data["snapshot"]
+        for name, value in snap["counters"].items():
+            lines.append(f"  counter {name:<24} {value:g}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"  gauge   {name:<24} {value:g}")
+        for name, h in snap["histograms"].items():
+            if h["count"]:
+                lines.append(
+                    f"  hist    {name:<24} n={h['count']} mean={h['mean']:.6g}"
+                    f" min={h['min']:.6g} max={h['max']:.6g}"
+                )
+        return "\n".join(lines)

@@ -18,9 +18,10 @@ children.
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from repro.utils.clock import Clock, SystemClock
 
 
 @dataclass
@@ -49,6 +50,9 @@ class StageProfiler:
     stages: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
     open_stages: list = field(default_factory=list)
+    # injectable clock (shared abstraction with the metrics registry)
+    # so tests assert on deterministic fake time instead of sleeping
+    clock: Clock = field(default_factory=SystemClock, repr=False)
 
     # ------------------------------------------------------------------
     @contextmanager
@@ -62,7 +66,7 @@ class StageProfiler:
         reflects the stack of currently-running timers, so a report
         taken from an exception handler names the stage that failed.
         """
-        t0 = time.perf_counter()
+        t0 = self.clock.now()
         self.open_stages.append(name)
         try:
             yield self
@@ -70,7 +74,7 @@ class StageProfiler:
             self.stages.setdefault(name, StageStats()).errors += 1
             raise
         finally:
-            self.add_time(name, time.perf_counter() - t0)
+            self.add_time(name, self.clock.now() - t0)
             # a raising inner timer may leave deeper entries; drop
             # everything from this stage's (innermost) frame down so
             # the stack stays sane

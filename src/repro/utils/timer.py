@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+
+from repro.utils.clock import Clock, SystemClock
 
 
 @dataclass
@@ -21,15 +22,16 @@ class Timer:
 
     elapsed: float = 0.0
     _start: float | None = field(default=None, repr=False)
+    clock: Clock = field(default_factory=SystemClock, repr=False)
 
     def start(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._start = self.clock.now()
         return self
 
     def stop(self) -> float:
         if self._start is None:
             raise RuntimeError("Timer.stop() called before start()")
-        self.elapsed += time.perf_counter() - self._start
+        self.elapsed += self.clock.now() - self._start
         self._start = None
         return self.elapsed
 

@@ -10,6 +10,22 @@ from repro.netlist import CellSpec, Netlist, NetSpec, PinSpec
 from repro.synth import toy_design
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the tests/golden/data/*.npz reference files "
+             "from the current implementation instead of comparing",
+    )
+
+
+@pytest.fixture
+def regen_golden(request) -> bool:
+    """True when the run should rewrite the golden reference files."""
+    return bool(request.config.getoption("--regen-golden"))
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(1234)

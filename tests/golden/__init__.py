@@ -1,0 +1,69 @@
+"""Golden numeric regression suite.
+
+Frozen ``.npz`` references for the paper's numeric kernels live in
+``tests/golden/data/``; the tests compare current outputs against them
+at ``atol=1e-9`` (see :class:`GoldenChecker`).  Regenerate after an
+*intentional* numeric change with::
+
+    PYTHONPATH=src python -m pytest tests/golden --regen-golden
+
+and commit the updated files together with the change that explains
+them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+#: Absolute tolerance of every golden comparison.  Deliberately tight:
+#: the kernels are deterministic, so anything beyond float noise means
+#: the numerics changed.
+GOLDEN_ATOL = 1e-9
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+
+class GoldenChecker:
+    """Compare named arrays against (or regenerate) one golden file."""
+
+    def __init__(self, regen: bool) -> None:
+        self.regen = regen
+
+    def path(self, name: str) -> str:
+        return os.path.join(DATA_DIR, f"{name}.npz")
+
+    def check(self, name: str, arrays: dict) -> None:
+        """Assert ``arrays`` matches ``data/<name>.npz`` bit-near-exactly.
+
+        With ``--regen-golden`` the file is (re)written instead and the
+        check trivially passes — the regen run itself still validates
+        that every array is finite.
+        """
+        path = self.path(name)
+        clean = {k: np.asarray(v) for k, v in arrays.items()}
+        for key, arr in clean.items():
+            assert np.isfinite(arr).all(), f"{name}.{key} contains non-finite values"
+        if self.regen:
+            os.makedirs(DATA_DIR, exist_ok=True)
+            np.savez(path, **clean)
+            return
+        assert os.path.exists(path), (
+            f"golden file {path} is missing — generate it with "
+            f"'pytest tests/golden --regen-golden' and commit it"
+        )
+        with np.load(path) as ref:
+            assert sorted(ref.files) == sorted(clean), (
+                f"{name}: golden keys {sorted(ref.files)} != "
+                f"current keys {sorted(clean)} — regenerate if intentional"
+            )
+            for key in ref.files:
+                np.testing.assert_allclose(
+                    clean[key],
+                    ref[key],
+                    rtol=0.0,
+                    atol=GOLDEN_ATOL,
+                    err_msg=f"{name}.{key} drifted from the golden reference "
+                            f"(regenerate with --regen-golden if intentional)",
+                )

@@ -1,8 +1,10 @@
-"""StageProfiler behaviour: timers, counters, merge, serialisation."""
+"""StageProfiler behaviour: timers, counters, merge, serialisation.
+
+Timing assertions inject a :class:`~repro.utils.clock.FakeClock`
+instead of sleeping, so they are exact and instantaneous.
+"""
 
 from __future__ import annotations
-
-import time
 
 import numpy as np
 import pytest
@@ -10,20 +12,60 @@ import pytest
 from repro.geometry import Grid2D
 from repro.route import GlobalRouter, RouterConfig
 from repro.synth import toy_design
+from repro.utils.clock import FakeClock, SystemClock
 from repro.utils.profile import StageProfiler, StageStats
+from repro.utils.timer import Timer
+
+
+class TestClocks:
+    def test_fake_clock_advances_exactly(self):
+        clock = FakeClock(start=5.0)
+        assert clock.now() == 5.0
+        clock.advance(0.25)
+        assert clock.now() == 5.25
+
+    def test_fake_clock_rejects_negative_advance(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1.0)
+
+    def test_system_clock_is_monotonic(self):
+        clock = SystemClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_timer_uses_injected_clock(self):
+        clock = FakeClock()
+        timer = Timer(clock=clock).start()
+        clock.advance(1.5)
+        timer.stop()
+        clock.advance(100.0)  # after stop: no effect
+        assert timer.elapsed == pytest.approx(1.5)
 
 
 class TestAccumulation:
     def test_timer_accumulates_time_and_calls(self):
-        prof = StageProfiler()
+        clock = FakeClock()
+        prof = StageProfiler(clock=clock)
         for _ in range(3):
             with prof.timer("a.b"):
-                time.sleep(0.002)
+                clock.advance(0.002)
         st = prof.stages["a.b"]
         assert st.calls == 3
-        assert st.time >= 0.006
+        assert st.time == pytest.approx(0.006)
         assert prof.time_of("a.b") == st.time
         assert prof.time_of("missing") == 0.0
+
+    def test_nested_timers_attribute_time_to_each_stage(self):
+        clock = FakeClock()
+        prof = StageProfiler(clock=clock)
+        with prof.timer("outer"):
+            clock.advance(1.0)
+            with prof.timer("inner"):
+                clock.advance(2.0)
+            clock.advance(0.5)
+        assert prof.time_of("inner") == pytest.approx(2.0)
+        assert prof.time_of("outer") == pytest.approx(3.5)
 
     def test_timer_records_on_exception(self):
         prof = StageProfiler()

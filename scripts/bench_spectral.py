@@ -1,0 +1,245 @@
+"""Benchmark the cached spectral workspace against the reference solver.
+
+Measures the two hot consumers of the Poisson solve as the RD loop
+exercises them:
+
+* **congestion path** — ``CongestionField`` is rebuilt every RD round,
+  so the "before" cost is constructing a fresh solver (the seed-style
+  denominator tables) plus one reference solve; the "after" cost is one
+  cached-workspace solve (construction amortised across rounds).
+* **density path** — ``ElectrostaticSystem`` keeps one solver alive, so
+  both sides pay construction once; the win here is the fused
+  scratch-buffer transform pipeline alone.
+
+The combined number (one congestion rebuild + one density solve, the
+per-round spectral bill of the RD loop) is what the acceptance gate
+reads.
+
+Protocol: every grid dimension runs in a **fresh subprocess** (so one
+dim's allocator warm-up cannot leak into another's baseline), and within
+a dim the reference and workspace paths are timed in **paired
+interleaved rounds** with the median of per-round ratios reported —
+single-core container timings drift by tens of percent, and pairing
+cancels the drift that plain before/after ordering bakes in.
+
+Also times a multi-design sweep via ``repro.bench.parallel.run_sweep``
+at ``--jobs 1`` vs ``--jobs N``.  Process parallelism only buys
+wall-clock on multi-core hosts; ``cpu_count`` is recorded next to the
+numbers so single-core results read as what they are.
+
+Writes ``results/BENCH_spectral.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+DEFAULT_DIMS = [128, 256, 512, 1024]
+
+
+def _seed_ctor(nx: int, ny: int, dx: float, dy: float):
+    """The original per-round solver construction cost (denominators)."""
+    wu = np.pi * np.arange(nx) / (nx * dx)
+    wv = np.pi * np.arange(ny) / (ny * dy)
+    wu2 = wu[:, None]
+    wv2 = wv[None, :]
+    denom = wu2**2 + wv2**2
+    denom[0, 0] = 1.0
+    return wu2, wv2, 1.0 / denom
+
+
+def bench_dim(dim: int, rounds: int, inner: int) -> dict:
+    """Paired reference-vs-workspace timings for one ``dim x dim`` grid."""
+    from repro.density.poisson import (
+        PoissonSolver,
+        SpectralWorkspace,
+        clear_spectral_cache,
+    )
+    from repro.geometry.grid import Grid2D
+    from repro.geometry.rect import Rect
+
+    grid = Grid2D(Rect(0.0, 0.0, float(dim), float(dim)), dim, dim)
+    rng = np.random.default_rng(dim)
+    rho = rng.standard_normal((dim, dim))
+
+    ref = PoissonSolver(grid, use_workspace=False)
+    clear_spectral_cache()
+    ws = SpectralWorkspace.for_grid(grid)  # cached once, like round 1
+    # correctness gate before timing anything
+    for a, b in zip(ws.solve(rho), ref.solve_reference(rho)):
+        assert np.array_equal(a, b), "workspace diverged from reference"
+    # let the stage auto-tuner sample its variants and lock in before
+    # the timed rounds (mirrors steady-state RD-loop behaviour); keep
+    # the reference path equally warm so the allocator state is paired
+    while any(v is None for v in ws.variants.values()):
+        ws.solve(rho)
+        ref.solve_reference(rho)
+
+    inner = max(1, min(inner, int(8e6 / (dim * dim)) or 1))
+    ctor_ms, ref_ms, ws_ms = [], [], []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            _seed_ctor(grid.nx, grid.ny, grid.dx, grid.dy)
+        ctor_ms.append((time.perf_counter() - t0) / inner * 1e3)
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            ref.solve_reference(rho)
+        ref_ms.append((time.perf_counter() - t0) / inner * 1e3)
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            ws.solve(rho)
+        ws_ms.append((time.perf_counter() - t0) / inner * 1e3)
+
+    ctor_ms = np.asarray(ctor_ms)
+    ref_ms = np.asarray(ref_ms)
+    ws_ms = np.asarray(ws_ms)
+    med = lambda a: float(np.median(a))  # noqa: E731
+    return {
+        "dim": dim,
+        "rounds": rounds,
+        "inner": inner,
+        "seed_ctor_ms": med(ctor_ms),
+        "reference_solve_ms": med(ref_ms),
+        "workspace_solve_ms": med(ws_ms),
+        # per-round paired ratios -> median, robust to host drift
+        "density_speedup": med(ref_ms / ws_ms),
+        "congestion_speedup": med((ctor_ms + ref_ms) / ws_ms),
+        "combined_speedup": med((ctor_ms + 2.0 * ref_ms) / (2.0 * ws_ms)),
+    }
+
+
+def bench_dim_subprocess(dim: int, rounds: int, inner: int) -> dict:
+    """Run :func:`bench_dim` in a fresh interpreter; return its JSON."""
+    out = subprocess.run(
+        [sys.executable, os.path.abspath(__file__),
+         "--one-dim", str(dim), "--rounds", str(rounds), "--inner", str(inner)],
+        capture_output=True, text=True, check=True,
+        env={**os.environ, "PYTHONPATH": os.environ.get("PYTHONPATH", "src")},
+    )
+    return json.loads(out.stdout)
+
+
+def bench_sweep(jobs: int, scale: float) -> dict:
+    """Wall-clock of a small Table I sweep at jobs=1 vs jobs=``jobs``."""
+    from repro.bench.parallel import run_sweep
+    from repro.place.config import GPConfig
+
+    names = ["des_perf_1", "des_perf_a", "des_perf_b", "edit_dist_a"]
+    kwargs = dict(
+        kind="table1",
+        scale=scale,
+        placers=("Xplace",),
+        gp_config=GPConfig(max_iters=25),
+    )
+    seq = run_sweep(names, jobs=1, **kwargs)
+    par = run_sweep(names, jobs=jobs, **kwargs)
+    ok = all(r.ok for r in seq.runs) and all(r.ok for r in par.runs)
+    return {
+        "designs": names,
+        "scale": scale,
+        "jobs": jobs,
+        "sequential_s": seq.elapsed,
+        "parallel_s": par.elapsed,
+        "speedup": seq.elapsed / par.elapsed,
+        "all_ok": ok,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dims", type=int, nargs="*", default=DEFAULT_DIMS)
+    parser.add_argument("--rounds", type=int, default=13,
+                        help="paired timing rounds per dim")
+    parser.add_argument("--inner", type=int, default=30,
+                        help="solves per timing sample (auto-capped by dim)")
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--sweep-scale", type=float, default=0.12)
+    parser.add_argument("--skip-sweep", action="store_true")
+    parser.add_argument("--out", default="results/BENCH_spectral.json")
+    parser.add_argument("--one-dim", type=int, default=None,
+                        help=argparse.SUPPRESS)  # subprocess entry
+    args = parser.parse_args()
+
+    if args.one_dim is not None:
+        print(json.dumps(bench_dim(args.one_dim, args.rounds, args.inner)))
+        return 0
+
+    per_dim = []
+    for dim in args.dims:
+        entry = bench_dim_subprocess(dim, args.rounds, args.inner)
+        per_dim.append(entry)
+        print(
+            f"dim={dim:5d}  ref {entry['reference_solve_ms']:8.3f}ms"
+            f"  ws {entry['workspace_solve_ms']:8.3f}ms"
+            f"  density {entry['density_speedup']:.2f}x"
+            f"  congestion {entry['congestion_speedup']:.2f}x"
+            f"  combined {entry['combined_speedup']:.2f}x",
+            flush=True,
+        )
+
+    speedups = [e["combined_speedup"] for e in per_dim]
+    geomean = float(np.exp(np.mean(np.log(speedups))))
+    print(f"combined geomean speedup: {geomean:.2f}x")
+
+    payload = {
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "protocol": (
+            "fresh subprocess per dim; paired interleaved rounds "
+            "(seed ctor / reference solve / workspace solve back to "
+            "back); median of per-round ratios"
+        ),
+        "spectral": {
+            "per_dim": per_dim,
+            "combined_geomean_speedup": geomean,
+            "target_combined_speedup": 1.5,
+            "note": (
+                "combined = one congestion rebuild (seed: fresh "
+                "denominator tables + reference solve; workspace: one "
+                "cached solve) + one density solve (reference vs "
+                "workspace), the per-RD-round spectral bill.  The "
+                "workspace is constrained to bit-identical output "
+                "(golden suite unchanged), which pins the transform "
+                "count to the reference's; the speedup comes from "
+                "scratch reuse, dispatch bypass, auto-tuned "
+                "layout/variant selection and denominator memoization, "
+                "and varies with host cache/allocator state"
+            ),
+        },
+    }
+    if not args.skip_sweep:
+        sweep = bench_sweep(args.jobs, args.sweep_scale)
+        payload["sweep"] = sweep
+        payload["sweep"]["note"] = (
+            "process-level parallelism; wall-clock win requires >= jobs "
+            "physical cores — on a single-core host expect parity plus "
+            "pool overhead (see host.cpu_count)"
+        )
+        print(
+            f"sweep jobs=1 {sweep['sequential_s']:.1f}s vs "
+            f"jobs={sweep['jobs']} {sweep['parallel_s']:.1f}s "
+            f"({sweep['speedup']:.2f}x, cpu_count={os.cpu_count()})"
+        )
+
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=1)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

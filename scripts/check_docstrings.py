@@ -1,0 +1,138 @@
+"""Docstring-coverage gate for ``src/repro`` (interrogate-compatible).
+
+CI runs the real `interrogate <https://interrogate.readthedocs.io>`_
+when it is installed; this script is the dependency-free equivalent
+for the offline dev container and the test suite.  Both read their
+configuration from the same ``[tool.interrogate]`` table in
+``pyproject.toml``, so the floor cannot drift between the two.
+
+Counted objects (matching the interrogate options we set): modules,
+classes, and functions/methods — excluding anything private
+(leading underscore), magic methods, ``__init__``, nested functions,
+and ``@overload`` stubs.
+
+Usage::
+
+    python scripts/check_docstrings.py [--fail-under PCT] [-v]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TARGET = os.path.join(REPO, "src", "repro")
+
+
+def read_fail_under(pyproject: str) -> float:
+    """The ``[tool.interrogate] fail-under`` value from pyproject.toml."""
+    import tomllib
+
+    with open(pyproject, "rb") as fh:
+        data = tomllib.load(fh)
+    return float(data["tool"]["interrogate"]["fail-under"])
+
+
+def _is_counted(name: str) -> bool:
+    return not name.startswith("_")
+
+
+class _Visitor(ast.NodeVisitor):
+    """Collect (qualified_name, has_docstring) for counted objects."""
+
+    def __init__(self, modname: str) -> None:
+        self.modname = modname
+        self.results: list = []
+        self._stack: list = []
+
+    def _record(self, node, name: str) -> None:
+        qual = ".".join([self.modname, *self._stack, name]) if name else \
+            self.modname
+        self.results.append((qual, ast.get_docstring(node) is not None))
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._record(node, "")
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if _is_counted(node.name):
+            self._record(node, node.name)
+            self._stack.append(node.name)
+            self.generic_visit(node)
+            self._stack.pop()
+
+    def _visit_function(self, node) -> None:
+        if not _is_counted(node.name):
+            return
+        for deco in node.decorator_list:
+            if (isinstance(deco, ast.Name) and deco.id == "overload") or (
+                isinstance(deco, ast.Attribute) and deco.attr == "overload"
+            ):
+                return
+        self._record(node, node.name)
+        # do not recurse: nested functions are not counted
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+
+def collect(target: str) -> list:
+    """All counted (qualified_name, documented) pairs under ``target``."""
+    results: list = []
+    for dirpath, dirnames, filenames in os.walk(target):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for fname in sorted(filenames):
+            if not fname.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, fname)
+            rel = os.path.relpath(path, os.path.dirname(target))
+            modname = rel[:-3].replace(os.sep, ".")
+            if modname.endswith(".__init__"):
+                modname = modname[: -len(".__init__")]
+            visitor = _Visitor(modname)
+            visitor.visit(ast.parse(open(path, encoding="utf-8").read()))
+            results.extend(visitor.results)
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--target", default=TARGET)
+    parser.add_argument(
+        "--fail-under", type=float, default=None,
+        help="coverage floor in percent (default: pyproject "
+             "[tool.interrogate])",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="list undocumented objects")
+    args = parser.parse_args()
+
+    fail_under = args.fail_under
+    if fail_under is None:
+        fail_under = read_fail_under(os.path.join(REPO, "pyproject.toml"))
+
+    results = collect(args.target)
+    documented = sum(1 for _, ok in results if ok)
+    total = len(results)
+    coverage = 100.0 * documented / total if total else 100.0
+    missing = [name for name, ok in results if not ok]
+    if args.verbose and missing:
+        for name in missing:
+            print(f"MISSING {name}")
+    print(
+        f"docstring coverage: {documented}/{total} = {coverage:.1f}% "
+        f"(floor {fail_under:.1f}%)"
+    )
+    if coverage < fail_under:
+        print("FAILED: coverage below the configured floor",
+              file=sys.stderr)
+        return 1
+    print("PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

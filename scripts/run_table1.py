@@ -2,7 +2,9 @@
 
 Writes per-design metric rows to ``results/table1.json`` and prints the
 formatted table with the Avg. Ratio footer.  Pass ``--scale`` to shrink
-designs for a quick run.
+designs for a quick run and ``--jobs N`` to fan designs across worker
+processes (per-design failure isolation: a crashed design reports an
+error and the sweep continues).
 """
 
 from __future__ import annotations
@@ -13,38 +15,49 @@ import os
 import sys
 import time
 
-from repro.bench.harness import run_design, table_rows
-from repro.evalrt.report import format_table
-from repro.synth.suite import suite_design, suite_names
+from repro.bench.parallel import run_sweep
+from repro.evalrt.report import MetricRow, format_table
+from repro.synth.suite import suite_names
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--designs", nargs="*", default=None)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the design sweep")
     parser.add_argument("--out", default="results/table1.json")
+    parser.add_argument("--metrics-out", default=None,
+                        help="write the merged telemetry stream (JSONL)")
     args = parser.parse_args()
 
     names = args.designs or suite_names()
-    rows = []
-    for name in names:
-        t0 = time.time()
-        outcome = run_design(suite_design(name, scale=args.scale))
-        rows += table_rows([outcome])
-        print(f"[{time.strftime('%H:%M:%S')}] {name} done in {time.time()-t0:.0f}s", flush=True)
+    t0 = time.time()
+    result = run_sweep(
+        names,
+        kind="table1",
+        jobs=args.jobs,
+        scale=args.scale,
+        metrics_path=args.metrics_out,
+    )
+    for run in result.runs:
+        status = "done" if run.ok else "FAILED"
+        print(f"[{time.strftime('%H:%M:%S')}] {run.design} {status} "
+              f"in {run.elapsed:.0f}s", flush=True)
 
     os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
     with open(args.out, "w") as fh:
-        json.dump(
-            [
-                {"design": r.design, "placer": r.placer, "metrics": r.metrics}
-                for r in rows
-            ],
-            fh,
-            indent=1,
-        )
-    print(format_table(rows, reference_placer="Ours"))
-    return 0
+        json.dump(result.rows(), fh, indent=1)
+    rows = [
+        MetricRow(design=r["design"], placer=r["placer"], metrics=r["metrics"])
+        for r in result.rows()
+    ]
+    if rows:
+        print(format_table(rows, reference_placer="Ours"))
+    for failed in result.errors():
+        print(f"FAILED {failed.design}:\n{failed.error}")
+    print(f"total wall {time.time() - t0:.0f}s (jobs={result.jobs})")
+    return 1 if result.errors() else 0
 
 
 if __name__ == "__main__":

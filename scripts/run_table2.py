@@ -2,7 +2,9 @@
 
 The paper reports suite-average ratios; congestion techniques only act
 where congestion exists, so the default design list covers the
-congested half of the suite.  Writes ``results/table2.json``.
+congested half of the suite.  Writes ``results/table2.json``.  Pass
+``--jobs N`` to fan designs across worker processes (per-design
+failure isolation, deterministic row order).
 """
 
 from __future__ import annotations
@@ -13,51 +15,54 @@ import os
 import sys
 import time
 
-from repro.bench.harness import run_ablation_on_design
-from repro.evalrt.report import format_table
-from repro.synth.suite import suite_design
-
-DEFAULT_DESIGNS = [
-    "des_perf_1",
-    "des_perf_a",
-    "edit_dist_a",
-    "fft_b",
-    "matrix_mult_1",
-    "matrix_mult_b",
-    "superblue12",
-    "superblue19",
-]
+from repro.bench.parallel import TABLE2_DESIGNS, run_sweep
+from repro.evalrt.report import MetricRow, format_table
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--designs", nargs="*", default=None)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the design sweep")
     parser.add_argument("--out", default="results/table2.json")
+    parser.add_argument("--metrics-out", default=None,
+                        help="write the merged telemetry stream (JSONL)")
     args = parser.parse_args()
 
-    rows = []
-    for name in args.designs or DEFAULT_DESIGNS:
-        t0 = time.time()
-        rows += run_ablation_on_design(suite_design(name, scale=args.scale))
-        print(f"[{time.strftime('%H:%M:%S')}] {name} done in {time.time()-t0:.0f}s", flush=True)
+    names = args.designs or list(TABLE2_DESIGNS)
+    t0 = time.time()
+    result = run_sweep(
+        names,
+        kind="table2",
+        jobs=args.jobs,
+        scale=args.scale,
+        metrics_path=args.metrics_out,
+    )
+    for run in result.runs:
+        status = "done" if run.ok else "FAILED"
+        print(f"[{time.strftime('%H:%M:%S')}] {run.design} {status} "
+              f"in {run.elapsed:.0f}s", flush=True)
 
     os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
     with open(args.out, "w") as fh:
-        json.dump(
-            [
-                {"design": r.design, "placer": r.placer, "metrics": r.metrics}
-                for r in rows
-            ],
-            fh,
-            indent=1,
+        json.dump(result.rows(), fh, indent=1)
+    rows = [
+        MetricRow(design=r["design"], placer=r["placer"], metrics=r["metrics"])
+        for r in result.rows()
+    ]
+    if rows:
+        print(
+            format_table(
+                rows,
+                keys=("DRWL", "#DRVias", "#DRVs"),
+                reference_placer="+MCI+DC+DPA",
+            )
         )
-    print(
-        format_table(
-            rows, keys=("DRWL", "#DRVias", "#DRVs"), reference_placer="+MCI+DC+DPA"
-        )
-    )
-    return 0
+    for failed in result.errors():
+        print(f"FAILED {failed.design}:\n{failed.error}")
+    print(f"total wall {time.time() - t0:.0f}s (jobs={result.jobs})")
+    return 1 if result.errors() else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,10 @@
+"""Reproduction of "Differentiable Net-Moving and Local Congestion
+Mitigation for Routability-Driven Global Placement" (DAC 2025).
+
+Layered packages, substrate to frontend: ``utils``/``geometry`` ->
+``netlist``/``io``/``synth`` -> ``wirelength``/``density`` -> ``optim``
+-> ``place`` -> ``route`` -> ``core`` (the paper's techniques) ->
+``legalize``/``detail`` -> ``evalrt``/``baselines``/``bench`` ->
+``cli``/``viz``.  See ``docs/architecture.md`` for the module map,
+the RD-loop data flow and the paper <-> code cross-reference.
+"""

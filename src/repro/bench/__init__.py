@@ -1,4 +1,10 @@
-"""Experiment harness regenerating the paper's tables and figures."""
+"""Experiment harness regenerating the paper's tables and figures.
+
+:mod:`repro.bench.harness` runs placers and evaluations sequentially;
+:mod:`repro.bench.parallel` shards a multi-design sweep across a
+process pool with per-design failure isolation and merged telemetry
+(CLI: ``python -m repro bench --jobs N``).
+"""
 
 from repro.bench.harness import (
     DesignOutcome,
@@ -9,13 +15,31 @@ from repro.bench.harness import (
     table_rows,
     write_bench_json,
 )
+from repro.bench.parallel import (
+    TABLE2_DESIGNS,
+    DesignRun,
+    SweepResult,
+    SweepTask,
+    merge_event_segments,
+    run_sweep,
+    run_sweep_task,
+    write_events_jsonl,
+)
 
 __all__ = [
     "DesignOutcome",
+    "DesignRun",
+    "SweepResult",
+    "SweepTask",
+    "TABLE2_DESIGNS",
     "bench_payload",
+    "merge_event_segments",
     "run_design",
     "run_suite",
     "run_ablation_on_design",
+    "run_sweep",
+    "run_sweep_task",
     "table_rows",
     "write_bench_json",
+    "write_events_jsonl",
 ]

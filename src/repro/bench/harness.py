@@ -47,6 +47,7 @@ class DesignOutcome:
     evals: dict = field(default_factory=dict)  # placer -> RoutingEvaluation
 
     def row(self, placer: str) -> MetricRow:
+        """The Table I metric row of one placer on this design."""
         ev = self.evals[placer]
         fl = self.flows[placer]
         return MetricRow(

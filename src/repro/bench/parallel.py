@@ -1,0 +1,353 @@
+"""Sharded parallel experiment runner for the Table I / II sweeps.
+
+Fans the designs of a sweep across a process pool
+(:func:`run_sweep`), one design per task, with three contracts the
+sequential scripts never had to state:
+
+* **deterministic ordering** — results come back in input order no
+  matter which worker finishes first, so the emitted rows, the merged
+  metrics stream and the JSON payloads are byte-stable for a given
+  design list;
+* **per-design failure isolation** — a design that raises (or whose
+  worker process dies) produces a :class:`DesignRun` carrying the
+  traceback instead of killing the sweep; the remaining designs still
+  run and report;
+* **merged telemetry** — every worker records its design's events into
+  a private in-memory :class:`~repro.utils.metrics.MetricsRegistry`
+  segment (``run.start`` … ``run.end``); the parent concatenates the
+  segments in input order into one schema-valid stream
+  (:func:`merge_event_segments` — ``validate_stream`` accepts the
+  result because sequence numbers restart per segment).
+
+Workers regenerate their design from ``(name, scale, seed)`` instead
+of receiving a pickled netlist, so task payloads stay tiny.  With
+``jobs <= 1`` everything runs in-process (no pool, no pickling), which
+is also the deterministic fallback when a pool breaks.
+
+Fault-injection hook: each worker fires the ``bench.design.<name>``
+fault site before running its design, and installs any
+:class:`~repro.utils.faults.FaultPlan` objects carried by the task for
+the duration of that design.  Tests use this to crash one specific
+design of a pooled sweep and assert the isolation contract.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.utils.logging import get_logger
+
+logger = get_logger("bench.parallel")
+
+#: Default design list of the Table II ablation sweep — the congested
+#: half of the suite (congestion techniques only act where congestion
+#: exists; see ``scripts/run_table2.py``).
+TABLE2_DESIGNS = (
+    "des_perf_1",
+    "des_perf_a",
+    "edit_dist_a",
+    "fft_b",
+    "matrix_mult_1",
+    "matrix_mult_b",
+    "superblue12",
+    "superblue19",
+)
+
+
+@dataclass
+class SweepTask:
+    """One design's work order, small enough to pickle cheaply."""
+
+    index: int
+    kind: str  # "table1" | "table2"
+    name: str
+    scale: float = 1.0
+    seed: int = 0
+    placers: tuple = ()
+    gp_config: object = None
+    rd_config: object = None
+    eval_config: object = None
+    fault_plans: tuple = ()
+
+
+@dataclass
+class DesignRun:
+    """Outcome of one design: rows + telemetry segment, or an error."""
+
+    design: str
+    index: int
+    rows: list = field(default_factory=list)
+    events: list = field(default_factory=list)
+    error: str | None = None
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the design completed without an error."""
+        return self.error is None
+
+
+@dataclass
+class SweepResult:
+    """All design runs of one sweep, in input order."""
+
+    runs: list = field(default_factory=list)
+    jobs: int = 1
+    elapsed: float = 0.0
+
+    def rows(self) -> list:
+        """Metric-row dicts of the successful designs, input-ordered."""
+        return [row for run in self.runs for row in run.rows]
+
+    def errors(self) -> list:
+        """The failed :class:`DesignRun` entries."""
+        return [run for run in self.runs if not run.ok]
+
+    def events(self) -> list:
+        """One merged, schema-valid event stream across all designs."""
+        return merge_event_segments([run.events for run in self.runs])
+
+    def error_payload(self) -> list:
+        """JSON-ready error entries for bench payloads."""
+        return [
+            {"design": run.design, "index": run.index, "error": run.error}
+            for run in self.errors()
+        ]
+
+
+def merge_event_segments(segments: list) -> list:
+    """Concatenate per-design event segments into one stream.
+
+    Each segment is a complete registry run (``run.start`` at
+    ``seq == 0`` through ``run.end``); concatenation in input order is
+    exactly the multi-segment stream format the resume path already
+    produces, so ``validate_stream`` accepts the result unchanged.
+    """
+    merged: list = []
+    for segment in segments:
+        merged.extend(segment)
+    return merged
+
+
+def write_events_jsonl(path: str, events: list) -> None:
+    """Write a merged event stream as JSONL (one object per line)."""
+    import os
+
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+
+
+# ----------------------------------------------------------------------
+# worker
+# ----------------------------------------------------------------------
+def _metric_rows_as_dicts(rows: list) -> list:
+    return [
+        {"design": r.design, "placer": r.placer, "metrics": dict(r.metrics)}
+        for r in rows
+    ]
+
+
+def run_sweep_task(task: SweepTask) -> DesignRun:
+    """Execute one design end to end; never raises.
+
+    Runs in a pool worker (or in-process for ``jobs <= 1``).  Telemetry
+    goes to a private in-memory registry whose parsed events ride back
+    on the :class:`DesignRun`; any exception — including injected
+    faults — is captured as a traceback string.
+    """
+    from repro.utils import faults
+    from repro.utils.metrics import MemorySink, MetricsRegistry
+
+    t0 = time.perf_counter()
+    sink = MemorySink()
+    metrics = MetricsRegistry(sink=sink)
+    metrics.start_run(
+        command="bench", sweep=task.kind, design=task.name, shard=task.index
+    )
+    error = None
+    rows: list = []
+    injector = None
+    try:
+        if task.fault_plans:
+            injector = faults.FaultInjector()
+            for plan in task.fault_plans:
+                injector.add(plan)
+            faults.install(injector)
+        faults.fire(f"bench.design.{task.name}")
+        rows = _run_design_task(task, metrics)
+    except BaseException:
+        error = traceback.format_exc()
+    finally:
+        if injector is not None:
+            faults.uninstall()
+    metrics.close()
+    events = [json.loads(line) for line in sink.lines]
+    return DesignRun(
+        design=task.name,
+        index=task.index,
+        rows=rows,
+        events=events,
+        error=error,
+        elapsed=time.perf_counter() - t0,
+    )
+
+
+def _run_design_task(task: SweepTask, metrics) -> list:
+    """Generate the design and run the requested sweep kind on it."""
+    from repro.bench.harness import (
+        PLACERS,
+        run_ablation_on_design,
+        run_design,
+        table_rows,
+    )
+    from repro.synth.suite import suite_design
+
+    netlist = suite_design(task.name, scale=task.scale, seed=task.seed)
+    if task.kind == "table1":
+        outcome = run_design(
+            netlist,
+            placers=task.placers or PLACERS,
+            gp_config=task.gp_config,
+            rd_config=task.rd_config,
+            eval_config=task.eval_config,
+            metrics=metrics,
+        )
+        return _metric_rows_as_dicts(table_rows([outcome]))
+    if task.kind == "table2":
+        return _metric_rows_as_dicts(
+            run_ablation_on_design(
+                netlist,
+                gp_config=task.gp_config,
+                eval_config=task.eval_config,
+            )
+        )
+    raise ValueError(f"unknown sweep kind {task.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def run_sweep(
+    names: list,
+    kind: str = "table1",
+    jobs: int = 1,
+    scale: float = 1.0,
+    seed: int = 0,
+    placers: tuple = (),
+    gp_config=None,
+    rd_config=None,
+    eval_config=None,
+    fault_plans: tuple = (),
+    metrics_path: str | None = None,
+) -> SweepResult:
+    """Run a sweep over ``names``, fanning designs across ``jobs`` workers.
+
+    Parameters
+    ----------
+    names:
+        Design names (``repro.synth.suite``) in the order results are
+        reported.
+    kind:
+        ``"table1"`` (placer comparison) or ``"table2"`` (ablation).
+    jobs:
+        Worker processes.  ``jobs <= 1`` runs in-process.  Wall-clock
+        scales with physical cores — a single-core host sees parity,
+        not a win.
+    fault_plans:
+        :class:`~repro.utils.faults.FaultPlan` tuple installed inside
+        each worker for its design (tests target one design via the
+        ``bench.design.<name>`` site).
+    metrics_path:
+        When set, the merged per-design telemetry stream is written
+        there as JSONL after the sweep.
+
+    Returns
+    -------
+    SweepResult
+        Per-design runs in input order; failed designs carry their
+        traceback in :attr:`DesignRun.error` instead of raising.
+    """
+    if kind not in ("table1", "table2"):
+        raise ValueError(f"unknown sweep kind {kind!r}")
+    tasks = [
+        SweepTask(
+            index=i,
+            kind=kind,
+            name=name,
+            scale=scale,
+            seed=seed,
+            placers=tuple(placers),
+            gp_config=gp_config,
+            rd_config=rd_config,
+            eval_config=eval_config,
+            fault_plans=tuple(fault_plans),
+        )
+        for i, name in enumerate(names)
+    ]
+    t0 = time.perf_counter()
+    if jobs <= 1 or len(tasks) <= 1:
+        runs = [run_sweep_task(task) for task in tasks]
+    else:
+        runs = _run_pooled(tasks, jobs)
+    result = SweepResult(
+        runs=runs, jobs=max(1, jobs), elapsed=time.perf_counter() - t0
+    )
+    for run in result.runs:
+        status = "ok" if run.ok else "FAILED"
+        logger.info("%s %s in %.1fs", run.design, status, run.elapsed)
+    if metrics_path:
+        write_events_jsonl(metrics_path, result.events())
+    return result
+
+
+def _run_pooled(tasks: list, jobs: int) -> list:
+    """Dispatch tasks to a process pool; degrade per design, not per sweep.
+
+    A worker exception is already captured inside :func:`run_sweep_task`;
+    this layer handles the harder failure — a worker *process* dying
+    (``BrokenProcessPool``) — by recording an error entry for the
+    design whose future broke first and re-running the not-yet-finished
+    remainder in a fresh pool (never in the parent process: whatever
+    killed the worker must stay isolated).  Each retry consumes at
+    least the broken design, so the recursion terminates.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    runs: dict = {}
+    broken_task = None
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [(task, pool.submit(run_sweep_task, task)) for task in tasks]
+        for task, future in futures:
+            try:
+                runs[task.index] = future.result()
+            except BrokenProcessPool:
+                broken_task = task
+                break
+            except Exception:  # pragma: no cover — defensive
+                runs[task.index] = DesignRun(
+                    design=task.name,
+                    index=task.index,
+                    error=traceback.format_exc(),
+                )
+    if broken_task is not None:
+        logger.warning(
+            "worker process died on %s; error entry recorded, "
+            "restarting pool for the remaining designs", broken_task.name,
+        )
+        runs[broken_task.index] = DesignRun(
+            design=broken_task.name,
+            index=broken_task.index,
+            error="worker process died (BrokenProcessPool)",
+        )
+        remaining = [t for t in tasks if t.index not in runs]
+        for run in _run_pooled(remaining, jobs) if remaining else []:
+            runs[run.index] = run
+    return [runs[task.index] for task in tasks]

@@ -7,6 +7,7 @@ place   place a design file (wirelength-only or full routability flow)
 route   route a placed design and print congestion statistics
 eval    score a placed design (DRWL / #DRVias / #DRVs)
 plot    dump placement SVG and congestion heatmap PPM
+bench   run a Table I/II sweep, optionally sharded across --jobs workers
 """
 
 from __future__ import annotations
@@ -191,7 +192,68 @@ def _cmd_plot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.parallel import TABLE2_DESIGNS, run_sweep
+    from repro.evalrt.report import MetricRow, format_table
+    from repro.synth.suite import suite_names
+
+    kind = f"table{args.table}"
+    if args.designs:
+        names = args.designs
+    else:
+        names = suite_names() if args.table == 1 else list(TABLE2_DESIGNS)
+    unknown = [n for n in names if n not in suite_names()]
+    if unknown:
+        raise SystemExit(f"error: unknown suite designs: {', '.join(unknown)}")
+
+    result = run_sweep(
+        names,
+        kind=kind,
+        jobs=args.jobs,
+        scale=args.scale,
+        seed=args.seed,
+        metrics_path=args.metrics_out,
+    )
+    rows = [
+        MetricRow(design=r["design"], placer=r["placer"], metrics=r["metrics"])
+        for r in result.rows()
+    ]
+    if rows:
+        if args.table == 1:
+            print(format_table(rows, reference_placer="Ours"))
+        else:
+            print(format_table(
+                rows,
+                keys=("DRWL", "#DRVias", "#DRVs"),
+                reference_placer="+MCI+DC+DPA",
+            ))
+    for failed in result.errors():
+        print(f"FAILED {failed.design}:\n{failed.error}")
+    print(f"{len(names)} designs, jobs={result.jobs}, "
+          f"{len(result.errors())} failed, wall {result.elapsed:.1f}s")
+    if args.out:
+        import json
+
+        payload = {
+            "kind": kind,
+            "jobs": result.jobs,
+            "elapsed_s": result.elapsed,
+            "rows": result.rows(),
+            "errors": result.error_payload(),
+        }
+        parent = os.path.dirname(args.out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=1)
+        print(f"wrote {args.out}")
+    if args.metrics_out:
+        print(f"wrote merged telemetry to {args.metrics_out}")
+    return 1 if result.errors() else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -233,6 +295,24 @@ def build_parser() -> argparse.ArgumentParser:
                         "the metrics report")
     p.set_defaults(func=_cmd_route)
 
+    p = sub.add_parser("bench", help="run a Table I/II sweep (parallelizable)")
+    p.add_argument("--table", type=int, choices=(1, 2), default=1,
+                   help="1 = placer comparison, 2 = ablation")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes; designs run isolated, one "
+                        "crash yields an error entry instead of killing "
+                        "the sweep (wall-clock win needs >1 CPU core)")
+    p.add_argument("--designs", nargs="*", default=None,
+                   help="suite design names (default: the table's full list)")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write rows + errors + timing as JSON")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the merged per-design telemetry stream "
+                        "(one JSONL segment per design, input order)")
+    p.set_defaults(func=_cmd_bench)
+
     p = sub.add_parser("eval", help="score a placed design")
     p.add_argument("input")
     p.set_defaults(func=_cmd_eval)
@@ -245,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.density.poisson import PoissonSolver
+from repro.density.poisson import SpectralWorkspace
 from repro.geometry.grid import Grid2D
 
 
@@ -26,19 +26,28 @@ class CongestionField:
     """Congestion potential/field for one routing snapshot.
 
     Build once per routability round (the router's utilization map is
-    fixed within a round); query as often as the solver iterates.
+    fixed within a round); query as often as the solver iterates.  The
+    Poisson solve goes through the process-wide cached
+    :class:`~repro.density.poisson.SpectralWorkspace`, so consecutive
+    rounds on the same grid reuse the memoized eigenvalue denominators
+    and scratch buffers instead of rebuilding a solver each time.
     """
 
-    def __init__(self, grid: Grid2D, utilization: np.ndarray) -> None:
+    def __init__(
+        self,
+        grid: Grid2D,
+        utilization: np.ndarray,
+        fft_workers: int | None = None,
+    ) -> None:
         if utilization.shape != grid.shape:
             raise ValueError(
                 f"utilization shape {utilization.shape} != grid {grid.shape}"
             )
         self.grid = grid
         self.utilization = utilization
-        self.potential, self.field_x, self.field_y = PoissonSolver(grid).solve(
-            utilization
-        )
+        self.potential, self.field_x, self.field_y = SpectralWorkspace.for_grid(
+            grid
+        ).solve(utilization, workers=fft_workers)
 
     # ------------------------------------------------------------------
     def potential_at(self, x, y) -> np.ndarray:

@@ -132,6 +132,7 @@ class MomentumInflation:
         return np.sqrt(self.rates)
 
     def reset(self) -> None:
+        """Forget all momentum and return every rate to 1.0."""
         self.rates.fill(1.0)
         self.delta_rates.fill(0.0)
         self._prev_cong = None

@@ -184,9 +184,11 @@ class RDResult:
 
     @property
     def n_rounds(self) -> int:
+        """Number of completed routability rounds."""
         return len(self.rounds)
 
     def series(self, key: str) -> list:
+        """Per-round trajectory of one :class:`RoundRecord` field."""
         return [getattr(r, key) for r in self.rounds]
 
 

@@ -8,12 +8,21 @@ penalty, per-cell energies and gradient forces.
 """
 
 from repro.density.rasterize import CellRasterizer
-from repro.density.poisson import PoissonSolver, solve_poisson_fd
+from repro.density.poisson import (
+    PoissonSolver,
+    SpectralWorkspace,
+    clear_spectral_cache,
+    solve_poisson_fd,
+    spectral_cache_size,
+)
 from repro.density.electrostatic import ElectrostaticSystem, FieldSolution
 
 __all__ = [
     "CellRasterizer",
     "PoissonSolver",
+    "SpectralWorkspace",
+    "clear_spectral_cache",
+    "spectral_cache_size",
     "solve_poisson_fd",
     "ElectrostaticSystem",
     "FieldSolution",

@@ -33,6 +33,7 @@ class DetailStats:
 
     @property
     def improvement(self) -> float:
+        """HPWL reduction achieved by the refinement pass."""
         return self.hpwl_before - self.hpwl_after
 
 

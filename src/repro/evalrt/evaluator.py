@@ -28,6 +28,7 @@ class RoutingEvaluation:
     routing: RoutingResult
 
     def as_row(self) -> dict:
+        """Table-ready metric dict (DRWL / #DRVias / #DRVs / RT)."""
         return {
             "DRWL": self.drwl,
             "#DRVias": self.n_vias,

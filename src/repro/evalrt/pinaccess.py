@@ -27,6 +27,7 @@ class PinAccessReport:
 
     @property
     def total(self) -> float:
+        """All pin-access DRVs (covered-pin + crowding)."""
         return self.covered_pin_drvs + self.crowding_drvs
 
 

@@ -19,6 +19,7 @@ class MetricRow:
     metrics: dict = field(default_factory=dict)
 
     def get(self, key: str) -> float:
+        """One metric value as float (KeyError when absent)."""
         return float(self.metrics[key])
 
 

@@ -48,10 +48,12 @@ class Grid2D:
 
     @property
     def bin_area(self) -> float:
+        """Area of one bin, ``dx * dy``."""
         return self.dx * self.dy
 
     @property
     def shape(self) -> tuple[int, int]:
+        """Bin-count tuple ``(nx, ny)``."""
         return (self.nx, self.ny)
 
     def index_of(self, x, y):

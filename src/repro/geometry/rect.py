@@ -24,18 +24,22 @@ class Rect:
 
     @property
     def width(self) -> float:
+        """Extent along x."""
         return self.xhi - self.xlo
 
     @property
     def height(self) -> float:
+        """Extent along y."""
         return self.yhi - self.ylo
 
     @property
     def area(self) -> float:
+        """``width * height``."""
         return self.width * self.height
 
     @property
     def center(self) -> tuple[float, float]:
+        """Midpoint ``(cx, cy)``."""
         return (0.5 * (self.xlo + self.xhi), 0.5 * (self.ylo + self.yhi))
 
     def contains(self, x: float, y: float) -> bool:
@@ -80,6 +84,7 @@ class Rect:
         return Rect(self.xlo - dx, self.ylo - dy, self.xhi + dx, self.yhi + dy)
 
     def translated(self, dx: float, dy: float) -> "Rect":
+        """A copy shifted by ``(dx, dy)``."""
         return Rect(self.xlo + dx, self.ylo + dy, self.xhi + dx, self.yhi + dy)
 
     def clipped_to(self, other: "Rect") -> "Rect | None":
@@ -88,4 +93,5 @@ class Rect:
 
     @staticmethod
     def from_center(cx: float, cy: float, width: float, height: float) -> "Rect":
+        """Build a rect from its center point and dimensions."""
         return Rect(cx - width / 2, cy - height / 2, cx + width / 2, cy + height / 2)

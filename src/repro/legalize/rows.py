@@ -27,6 +27,7 @@ class Segment:
 
     @property
     def free_width(self) -> float:
+        """Remaining width right of the packing cursor."""
         return self.xhi - self.cursor
 
 
@@ -41,6 +42,7 @@ class RowMap:
 
     @property
     def n_rows(self) -> int:
+        """Number of placement rows."""
         return len(self.y_bottoms)
 
     def row_of(self, y_center: float) -> int:
@@ -49,6 +51,7 @@ class RowMap:
         return min(max(r, 0), self.n_rows - 1)
 
     def row_center_y(self, row: int) -> float:
+        """Vertical center of ``row``."""
         return float(self.y_bottoms[row] + self.row_height / 2)
 
     def snap_x(self, x: float) -> float:

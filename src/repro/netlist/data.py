@@ -28,6 +28,7 @@ class CellSpec:
 
     @property
     def area(self) -> float:
+        """Footprint area, ``width * height``."""
         return self.width * self.height
 
     def rect(self) -> Rect:
@@ -57,6 +58,7 @@ class NetSpec:
 
     @property
     def degree(self) -> int:
+        """Number of pins on the net."""
         return len(self.pins)
 
 
@@ -74,4 +76,5 @@ class PGRailSpec:
 
     @property
     def length(self) -> float:
+        """Rail run length along its orientation."""
         return self.rect.width if self.horizontal else self.rect.height

@@ -134,14 +134,17 @@ class Netlist:
     # ------------------------------------------------------------------
     @property
     def n_cells(self) -> int:
+        """Number of cells (movable + macros)."""
         return len(self.cell_width)
 
     @property
     def n_nets(self) -> int:
+        """Number of nets."""
         return len(self.net_names)
 
     @property
     def n_pins(self) -> int:
+        """Number of pins across all nets."""
         return len(self.pin_cell)
 
     @property
@@ -151,6 +154,7 @@ class Netlist:
 
     @property
     def cell_area(self) -> np.ndarray:
+        """Per-cell area array, ``width * height``."""
         return self.cell_width * self.cell_height
 
     # ------------------------------------------------------------------
@@ -181,6 +185,7 @@ class Netlist:
         return np.diff(self.cell_pin_starts)
 
     def cell_rect(self, cell_id: int) -> Rect:
+        """The cell's bounding rect at its current position."""
         return Rect.from_center(
             self.x[cell_id],
             self.y[cell_id],

@@ -18,6 +18,8 @@ from repro.netlist.netlist import Netlist
 
 @dataclass(frozen=True)
 class NetlistStats:
+    """Summary statistics of one netlist (sizes, areas, utilization)."""
+
     n_cells: int
     n_movable: int
     n_macros: int
@@ -31,6 +33,7 @@ class NetlistStats:
     utilization: float
 
     def as_dict(self) -> dict:
+        """JSON-ready summary."""
         return {
             "cells": self.n_cells,
             "movable": self.n_movable,

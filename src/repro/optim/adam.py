@@ -36,6 +36,7 @@ class AdamOptimizer:
         self.iteration = 0
 
     def do_step(self) -> dict:
+        """One Adam update of ``u``; returns step diagnostics."""
         g = self.grad_fn(self.u)
         self.iteration += 1
         self.m = self.beta1 * self.m + (1.0 - self.beta1) * g

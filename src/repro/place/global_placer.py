@@ -55,13 +55,16 @@ class PlacementHistory:
     records: list = field(default_factory=list)
 
     def append(self, **kwargs) -> None:
+        """Record one iteration's metrics."""
         self.records.append(dict(kwargs))
 
     def series(self, key: str) -> list:
+        """Trajectory of one recorded metric across iterations."""
         return [r[key] for r in self.records]
 
     @property
     def final(self) -> dict:
+        """The last record (empty dict before the first iteration)."""
         return self.records[-1] if self.records else {}
 
     def __len__(self) -> int:
@@ -149,6 +152,7 @@ class GlobalPlacer:
     # ------------------------------------------------------------------
     @property
     def n_entries(self) -> int:
+        """Movable cells plus fillers — the optimization vector length."""
         return self.n_mv + self.n_fill
 
     def _pack(self) -> np.ndarray:
@@ -584,10 +588,12 @@ class GlobalPlacer:
     # reporting
     # ------------------------------------------------------------------
     def overflow(self) -> float:
+        """Current density overflow (solves the density system)."""
         sol = self.solve_density()
         return sol.overflow
 
     def hpwl(self) -> float:
+        """Current half-perimeter wirelength of the netlist."""
         return hpwl(self.netlist)
 
 

@@ -32,6 +32,7 @@ class CongestionData:
 
     @property
     def max_congestion(self) -> float:
+        """Peak of the congestion map."""
         return float(self.congestion.max())
 
     def congested_mask(self, threshold: float = 0.0) -> np.ndarray:

@@ -110,6 +110,7 @@ class RoutingGrid:
     # demand bookkeeping
     # ------------------------------------------------------------------
     def reset_demand(self) -> None:
+        """Zero all demand maps (start of a routing pass)."""
         self.h_demand.fill(0.0)
         self.v_demand.fill(0.0)
         self.via_demand.fill(0.0)
@@ -128,6 +129,7 @@ class RoutingGrid:
         self.v_demand[i, lo : hi + 1] += sign
 
     def add_via(self, i: int, j: int, amount: float = 1.0) -> None:
+        """Add via demand at G-cell ``(i, j)``."""
         self.via_demand[i, j] += amount
 
     # ------------------------------------------------------------------

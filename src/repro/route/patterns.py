@@ -48,6 +48,7 @@ class RoutedPath:
 
     @property
     def n_bends(self) -> int:
+        """Number of bend points on the path."""
         return len(self.bends)
 
     def _run_arrays(self):

@@ -17,6 +17,7 @@ class Clock:
     """Monotonic clock interface: ``now()`` returns seconds."""
 
     def now(self) -> float:
+        """Current monotonic time in seconds."""
         raise NotImplementedError
 
 
@@ -26,6 +27,7 @@ class SystemClock(Clock):
     __slots__ = ()
 
     def now(self) -> float:
+        """Monotonic wall-clock via ``time.perf_counter``."""
         return time.perf_counter()
 
 
@@ -47,9 +49,11 @@ class FakeClock(Clock):
         self._t = float(start)
 
     def now(self) -> float:
+        """The manually controlled current time."""
         return self._t
 
     def advance(self, dt: float) -> float:
+        """Move the fake time forward by ``dt`` seconds; returns it."""
         if dt < 0:
             raise ValueError("a monotonic clock cannot go backwards")
         self._t += dt

@@ -82,6 +82,7 @@ class FaultPlan:
             raise ValueError("stride must be >= 1")
 
     def active_at(self, hit: int) -> bool:
+        """True when the ``hit``-th invocation falls in the trigger window."""
         if hit < self.trigger:
             return False
         return self.count < 0 or hit < self.trigger + self.count
@@ -96,10 +97,12 @@ class FaultInjector:
     fired: list = field(default_factory=list)
 
     def add(self, plan: FaultPlan) -> "FaultInjector":
+        """Register a plan; returns ``self`` for chaining."""
         self.plans.append(plan)
         return self
 
     def fire(self, site: str, value=None):
+        """Count a hit at ``site``; corrupt/raise when a plan is active."""
         hit = self.hits.get(site, 0)
         self.hits[site] = hit + 1
         for plan in self.plans:
@@ -124,6 +127,7 @@ class FaultInjector:
         return value
 
     def count_fired(self, site: str) -> int:
+        """How many times a plan actually fired at ``site``."""
         return sum(1 for s, _, _ in self.fired if s == site)
 
 
@@ -138,11 +142,13 @@ def install(injector: FaultInjector) -> FaultInjector:
 
 
 def uninstall() -> None:
+    """Remove the process-wide injector (sites become identities again)."""
     global _ACTIVE
     _ACTIVE = None
 
 
 def active() -> FaultInjector | None:
+    """The currently installed injector, or ``None``."""
     return _ACTIVE
 
 

@@ -86,6 +86,7 @@ class GuardEvent:
     action: str = ""  # "backoff" | "scrub" | "rollback" | "fallback"
 
     def as_dict(self) -> dict:
+        """JSON-ready event record."""
         return {
             "site": self.site,
             "kind": self.kind,
@@ -139,9 +140,11 @@ class DivergenceSentinel:
 
     @property
     def baseline(self) -> float:
+        """Rolling minimum over the recent healthy observations."""
         return min(self._recent) if self._recent else np.inf
 
     def observe(self, value: float) -> str:
+        """Classify one observation: ``ok``, ``nonfinite`` or ``diverging``."""
         cfg = self.config
         v = float(value)
         if not np.isfinite(v):
@@ -171,6 +174,7 @@ class GuardLog:
     events: list = field(default_factory=list)
 
     def record(self, event: GuardEvent) -> GuardEvent:
+        """Append one guard event; returns it for chaining."""
         self.events.append(event)
         return event
 
@@ -178,4 +182,5 @@ class GuardLog:
         return len(self.events)
 
     def as_dicts(self) -> list:
+        """All recorded events as JSON-ready dicts."""
         return [e.as_dict() for e in self.events]

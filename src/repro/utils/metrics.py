@@ -113,13 +113,14 @@ class MemorySink:
         self.lines: list = []
 
     def write(self, line: str) -> None:
+        """Record one serialized event line."""
         self.lines.append(line)
 
-    def flush(self) -> None:  # noqa: D102 — nothing buffered
-        pass
+    def flush(self) -> None:
+        """No-op: nothing is buffered."""
 
-    def close(self) -> None:  # noqa: D102
-        pass
+    def close(self) -> None:
+        """No-op: nothing to release."""
 
 
 class JsonlSink:
@@ -143,17 +144,20 @@ class JsonlSink:
         self._fh = open(path, "a" if append else "w")
 
     def write(self, line: str) -> None:
+        """Buffer one serialized event line (flushes at the batch size)."""
         self._buffer.append(line)
         if len(self._buffer) >= self.buffer_lines:
             self.flush()
 
     def flush(self) -> None:
+        """Write buffered lines to the file and flush the OS buffer."""
         if self._buffer:
             self._fh.write("\n".join(self._buffer) + "\n")
             self._buffer.clear()
         self._fh.flush()
 
     def close(self) -> None:
+        """Flush remaining lines and close the file (idempotent)."""
         if not self._fh.closed:
             self.flush()
             self._fh.close()
@@ -178,6 +182,7 @@ class HistStats:
     max: float = float("-inf")
 
     def observe(self, value: float) -> None:
+        """Fold one sample into the running summary."""
         self.count += 1
         self.total += value
         if value < self.min:
@@ -186,6 +191,7 @@ class HistStats:
             self.max = value
 
     def as_dict(self) -> dict:
+        """JSON-ready summary (count/sum/min/max/mean; None when empty)."""
         if self.count == 0:
             return {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": None}
         return {
@@ -212,25 +218,25 @@ class NullMetrics:
     enabled = False
 
     def inc(self, name: str, n: float = 1) -> None:
-        pass
+        """No-op counter increment."""
 
     def gauge(self, name: str, value: float) -> None:
-        pass
+        """No-op gauge update."""
 
     def observe(self, name: str, value: float) -> None:
-        pass
+        """No-op histogram observation."""
 
     def emit(self, kind: str, **fields) -> None:
-        pass
+        """No-op event emission."""
 
     def start_run(self, **fields) -> None:
-        pass
+        """No-op run-segment start."""
 
     def close(self) -> None:
-        pass
+        """No-op close."""
 
     def flush(self) -> None:
-        pass
+        """No-op flush."""
 
 
 #: Shared disabled registry — the default everywhere.
@@ -286,12 +292,15 @@ class MetricsRegistry:
 
     # ---------------------------------------------------------- aggregates
     def inc(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name`` (no event emitted)."""
         self.counters[name] = self.counters.get(name, 0) + n
 
     def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest value (no event emitted)."""
         self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into histogram ``name`` (no event emitted)."""
         hist = self.histograms.get(name)
         if hist is None:
             hist = self.histograms[name] = HistStats()
@@ -336,6 +345,7 @@ class MetricsRegistry:
         self.sink.write(json.dumps(event, separators=(",", ":")))
 
     def flush(self) -> None:
+        """Flush the sink's buffered lines."""
         self.sink.flush()
 
     def close(self) -> None:
@@ -432,10 +442,12 @@ class MetricsReport:
 
     @classmethod
     def from_jsonl(cls, path: str) -> "MetricsReport":
+        """Rebuild a report offline from a JSONL metrics file."""
         return cls(events=read_jsonl(path))
 
     @classmethod
     def from_registry(cls, registry: MetricsRegistry) -> "MetricsReport":
+        """Build a report from a (possibly still-open) registry."""
         events = [e for kind in registry.series.values() for e in kind]
         events.sort(key=lambda e: (e.get("segment", 0), e["seq"]))
         report = cls(events=events)
@@ -449,6 +461,7 @@ class MetricsReport:
 
     # ------------------------------------------------------------------
     def as_dict(self) -> dict:
+        """Summarize the stream: kind counts, series ranges, snapshot."""
         kinds: dict = {}
         series: dict = {}
         segments = 0
@@ -492,6 +505,7 @@ class MetricsReport:
         }
 
     def to_json(self, path: str) -> dict:
+        """Write :meth:`as_dict` to ``path``; returns the payload."""
         payload = self.as_dict()
         parent = os.path.dirname(path)
         if parent:
@@ -501,6 +515,7 @@ class MetricsReport:
         return payload
 
     def render(self, title: str = "metrics report") -> str:
+        """Human-readable multi-line summary (what the CLI prints)."""
         data = self.as_dict()
         lines = [
             title,

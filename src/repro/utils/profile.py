@@ -83,16 +83,19 @@ class StageProfiler:
                 del self.open_stages[last:]
 
     def add_time(self, name: str, dt: float, calls: int = 1, errors: int = 0) -> None:
+        """Accumulate ``dt`` seconds (plus call/error counts) on a stage."""
         st = self.stages.setdefault(name, StageStats())
         st.time += dt
         st.calls += calls
         st.errors += errors
 
     def count(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to the profiler counter ``name``."""
         self.counters[name] = self.counters.get(name, 0) + n
 
     # ------------------------------------------------------------------
     def time_of(self, name: str) -> float:
+        """Accumulated seconds of stage ``name`` (0.0 when absent)."""
         st = self.stages.get(name)
         return st.time if st is not None else 0.0
 
@@ -103,6 +106,7 @@ class StageProfiler:
         )
 
     def reset(self) -> None:
+        """Drop all stages, counters and open timers."""
         self.stages.clear()
         self.counters.clear()
         self.open_stages.clear()
@@ -128,6 +132,7 @@ class StageProfiler:
 
     @classmethod
     def from_dict(cls, data: dict) -> "StageProfiler":
+        """Rebuild a profiler from :meth:`as_dict` output."""
         prof = cls()
         for name, st in data.get("stages", {}).items():
             prof.add_time(name, st["time_s"], st.get("calls", 1), st.get("errors", 0))

@@ -25,10 +25,12 @@ class Timer:
     clock: Clock = field(default_factory=SystemClock, repr=False)
 
     def start(self) -> "Timer":
+        """Mark the start of a timed interval; returns ``self``."""
         self._start = self.clock.now()
         return self
 
     def stop(self) -> float:
+        """Close the interval, accumulate into ``elapsed`` and return it."""
         if self._start is None:
             raise RuntimeError("Timer.stop() called before start()")
         self.elapsed += self.clock.now() - self._start
@@ -36,6 +38,7 @@ class Timer:
         return self.elapsed
 
     def reset(self) -> None:
+        """Zero the accumulated time and forget any open interval."""
         self.elapsed = 0.0
         self._start = None
 

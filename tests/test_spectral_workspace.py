@@ -1,0 +1,223 @@
+"""Cached spectral workspace: exact equivalence and buffer reuse.
+
+The workspace path must be *bit-identical* (``atol=0``) to the original
+reference implementation — anything weaker would silently invalidate
+the golden suite — and must not allocate fresh scratch per solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.congestion_field import CongestionField
+from repro.density.poisson import (
+    PoissonSolver,
+    SpectralWorkspace,
+    clear_spectral_cache,
+    spectral_cache_size,
+)
+from repro.geometry import Grid2D, Rect
+from repro.place.initial import initial_placement
+from repro.route import GlobalRouter, RouterConfig
+from repro.synth import toy_design
+
+#: Every preallocated per-solve scratch buffer of the workspace.
+SCRATCH = (
+    "_bal", "_balt", "_coef", "_cx", "_cy", "_cyt",
+    "_shift_x", "_shift_xt", "_shift_y",
+)
+
+SHAPES = [
+    ((8, 8), (4, 3)),
+    ((8, 4), (4, 3)),
+    ((5, 7), (4, 3)),
+    ((33, 17), (7, 2)),
+    ((64, 64), (10, 10)),
+    # non-power-of-two and mixed-parity shapes: pocketfft picks
+    # different codepaths here, so these pin the transposed-layout and
+    # decomposed-dctn routes where naive transform fusions diverge
+    ((24, 24), (6, 6)),
+    ((96, 96), (12, 12)),
+    ((20, 10), (5, 5)),
+    ((7, 8), (4, 3)),
+]
+
+
+def _exact(a: np.ndarray, b: np.ndarray) -> bool:
+    return a.shape == b.shape and bool((a == b).all())
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_spectral_cache()
+    yield
+    clear_spectral_cache()
+
+
+@pytest.fixture(scope="module")
+def golden_utilization():
+    """The golden scenario's routing utilization map (16x16 grid)."""
+    netlist = toy_design(150, seed=5)
+    initial_placement(netlist, 0)
+    grid = Grid2D(netlist.die, 16, 16)
+    routing = GlobalRouter(grid, RouterConfig()).route(netlist)
+    return grid, routing.utilization_map
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("shape,die", SHAPES)
+    def test_workspace_matches_reference_exactly(self, shape, die, rng):
+        grid = Grid2D(Rect(0, 0, *die), *shape)
+        rho = rng.random(shape)
+        ref = PoissonSolver(grid, use_workspace=False)
+        p0, x0, y0 = ref.solve_reference(rho)
+        p1, x1, y1 = SpectralWorkspace.for_grid(grid).solve(rho)
+        assert _exact(p0, p1)
+        assert _exact(x0, x1)
+        assert _exact(y0, y1)
+
+    def test_golden_input_equivalence(self, golden_utilization):
+        """atol=0 on the golden scenario's utilization map."""
+        grid, util = golden_utilization
+        ref = PoissonSolver(grid, use_workspace=False)
+        p0, x0, y0 = ref.solve_reference(util)
+        p1, x1, y1 = SpectralWorkspace.for_grid(grid).solve(util)
+        np.testing.assert_array_equal(p0, p1)
+        np.testing.assert_array_equal(x0, x1)
+        np.testing.assert_array_equal(y0, y1)
+
+    def test_workers_path_is_identical(self, rng):
+        grid = Grid2D(Rect(0, 0, 10, 10), 32, 32)
+        rho = rng.random((32, 32))
+        ws = SpectralWorkspace.for_grid(grid)
+        p0, x0, y0 = ws.solve(rho)
+        p1, x1, y1 = ws.solve(rho, workers=2)
+        assert _exact(p0, p1) and _exact(x0, x1) and _exact(y0, y1)
+
+    def test_poisson_solver_default_is_workspace(self, rng):
+        grid = Grid2D(Rect(0, 0, 10, 10), 16, 16)
+        rho = rng.random((16, 16))
+        s = PoissonSolver(grid)
+        assert s._ws is SpectralWorkspace.for_grid(grid)
+        p0, x0, y0 = s.solve(rho)
+        p1, x1, y1 = s.solve_reference(rho)
+        assert _exact(p0, p1) and _exact(x0, x1) and _exact(y0, y1)
+
+    def test_congestion_field_uses_cached_workspace(self, golden_utilization):
+        grid, util = golden_utilization
+        ref = PoissonSolver(grid, use_workspace=False)
+        p0, x0, y0 = ref.solve_reference(util)
+        fld = CongestionField(grid, util)
+        np.testing.assert_array_equal(fld.potential, p0)
+        np.testing.assert_array_equal(fld.field_x, x0)
+        np.testing.assert_array_equal(fld.field_y, y0)
+        assert spectral_cache_size() == 1
+
+    def test_shape_mismatch_raises(self):
+        grid = Grid2D(Rect(0, 0, 1, 1), 8, 8)
+        with pytest.raises(ValueError):
+            SpectralWorkspace.for_grid(grid).solve(np.zeros((4, 4)))
+
+
+class TestVariantTuning:
+    """The auto-tuned stage variants are interchangeable bit-for-bit."""
+
+    VARIANTS = [
+        (fwd, ex, ey)
+        for fwd in ("direct", "transposed")
+        for ex in ("strided", "transposed")
+        for ey in ("strided", "transposed")
+    ]
+
+    @pytest.mark.parametrize("fwd,ex,ey", VARIANTS)
+    @pytest.mark.parametrize("shape,die", [((5, 7), (4, 3)),
+                                           ((24, 24), (6, 6)),
+                                           ((33, 17), (7, 2))])
+    def test_every_variant_combination_is_exact(
+        self, shape, die, fwd, ex, ey, rng
+    ):
+        grid = Grid2D(Rect(0, 0, *die), *shape)
+        rho = rng.random(shape)
+        p0, x0, y0 = PoissonSolver(grid, use_workspace=False).solve_reference(rho)
+        ws = SpectralWorkspace(*shape, grid.dx, grid.dy)
+        ws._variant = {"fwd": fwd, "ex": ex, "ey": ey}
+        p1, x1, y1 = ws.solve(rho)
+        assert _exact(p0, p1)
+        assert _exact(x0, x1)
+        assert _exact(y0, y1)
+
+    def test_tuning_locks_in_and_stays_exact(self, rng):
+        """All stages lock after sampling; later solves remain exact."""
+        grid = Grid2D(Rect(0, 0, 8, 8), 24, 24)
+        ws = SpectralWorkspace.for_grid(grid)
+        ref = PoissonSolver(grid, use_workspace=False)
+        assert all(v is None for v in ws.variants.values())
+        for _ in range(8):  # 2 variants x 3 samples, rounded up
+            rho = rng.random((24, 24))
+            p0, x0, y0 = ref.solve_reference(rho)
+            p1, x1, y1 = ws.solve(rho)
+            assert _exact(p0, p1) and _exact(x0, x1) and _exact(y0, y1)
+        locked = ws.variants
+        assert locked["fwd"] in ("direct", "transposed")
+        assert locked["ex"] in ("strided", "transposed")
+        assert locked["ey"] in ("strided", "transposed")
+        rho = rng.random((24, 24))
+        p0, x0, y0 = ref.solve_reference(rho)
+        p1, x1, y1 = ws.solve(rho)
+        assert _exact(p0, p1) and _exact(x0, x1) and _exact(y0, y1)
+        assert ws.variants == locked  # choice is stable once made
+
+
+class TestCacheReuse:
+    def test_same_geometry_shares_one_workspace(self):
+        g1 = Grid2D(Rect(0, 0, 8, 8), 16, 16)
+        g2 = Grid2D(Rect(0, 0, 8, 8), 16, 16)  # distinct object, same key
+        g3 = Grid2D(Rect(0, 0, 8, 8), 32, 32)
+        ws1 = SpectralWorkspace.for_grid(g1)
+        assert SpectralWorkspace.for_grid(g2) is ws1
+        assert SpectralWorkspace.for_grid(g3) is not ws1
+        assert spectral_cache_size() == 2
+        clear_spectral_cache()
+        assert spectral_cache_size() == 0
+        assert SpectralWorkspace.for_grid(g1) is not ws1
+
+    def test_no_reallocation_across_repeated_solves(self, rng):
+        """Scratch buffers survive untouched across same-shape solves."""
+        grid = Grid2D(Rect(0, 0, 8, 8), 24, 24)
+        ws = SpectralWorkspace.for_grid(grid)
+        scratch_ids = {
+            name: id(getattr(ws, name))
+            for name in ("_wu", "_wv", "_inv_denom") + SCRATCH
+        }
+        for _ in range(10):
+            ws.solve(rng.random((24, 24)))
+        assert ws.n_solves == 10
+        for name, ident in scratch_ids.items():
+            assert id(getattr(ws, name)) == ident, f"{name} was reallocated"
+        assert spectral_cache_size() == 1
+
+    def test_results_survive_later_solves(self, rng):
+        """Returned arrays are caller-owned, never workspace scratch."""
+        grid = Grid2D(Rect(0, 0, 8, 8), 24, 24)
+        ws = SpectralWorkspace.for_grid(grid)
+        rho = rng.random((24, 24))
+        psi, ex, ey = ws.solve(rho)
+        kept = (psi.copy(), ex.copy(), ey.copy())
+        scratch = tuple(getattr(ws, name) for name in SCRATCH)
+        for arr in (psi, ex, ey):
+            assert not any(np.shares_memory(arr, s) for s in scratch)
+        for _ in range(3):
+            ws.solve(rng.random((24, 24)))
+        np.testing.assert_array_equal(psi, kept[0])
+        np.testing.assert_array_equal(ex, kept[1])
+        np.testing.assert_array_equal(ey, kept[2])
+
+    def test_consecutive_congestion_fields_share_workspace(self, rng):
+        """Round-over-round CongestionField reuse: one workspace total."""
+        grid = Grid2D(Rect(0, 0, 8, 8), 16, 16)
+        for _ in range(4):
+            CongestionField(grid, rng.random((16, 16)))
+        ws = SpectralWorkspace.for_grid(grid)
+        assert ws.n_solves == 4
+        assert spectral_cache_size() == 1

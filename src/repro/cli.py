@@ -8,6 +8,11 @@ route   route a placed design and print congestion statistics
 eval    score a placed design (DRWL / #DRVias / #DRVs)
 plot    dump placement SVG and congestion heatmap PPM
 bench   run a Table I/II sweep, optionally sharded across --jobs workers
+gradcheck  validate analytic gradients against central differences
+
+``place`` and ``route`` accept ``--check-invariants {off,warn,raise}``
+to arm the numeric-contract layer (see :mod:`repro.utils.contracts`);
+the flag overrides the ``REPRO_CHECK_INVARIANTS`` environment default.
 """
 
 from __future__ import annotations
@@ -41,6 +46,20 @@ def _open_metrics(args: argparse.Namespace, command: str, resumed: bool = False)
         return MetricsReport.from_jsonl(path).render(f"metrics report ({path})")
 
     return metrics, finish
+
+
+def _configure_contracts(args: argparse.Namespace, metrics) -> None:
+    """Arm the contract checker from ``--check-invariants``.
+
+    ``None`` (flag absent) keeps the ``REPRO_CHECK_INVARIANTS``
+    environment default; either way the telemetry registry is attached
+    so warn-mode violations land in the ``--metrics-out`` stream.
+    """
+    from repro.utils import contracts
+
+    contracts.configure(
+        mode=getattr(args, "check_invariants", None), metrics=metrics
+    )
 
 
 def _load_validated(path: str):
@@ -92,6 +111,7 @@ def _cmd_place(args: argparse.Namespace) -> int:
     profiler = StageProfiler()
     resuming = args.checkpoint is not None and os.path.exists(args.checkpoint)
     metrics, finish_metrics = _open_metrics(args, "place", resumed=resuming)
+    _configure_contracts(args, metrics)
     if args.routability:
         placer = RoutabilityDrivenPlacer(
             netlist, RDConfig(gp=gp), profiler=profiler, metrics=metrics
@@ -143,6 +163,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
     grid = Grid2D(netlist.die, dim, dim)
     profiler = StageProfiler()
     metrics, finish_metrics = _open_metrics(args, "route")
+    _configure_contracts(args, metrics)
     config = RouterConfig(engine=args.engine)
     result = GlobalRouter(
         grid, config, profiler=profiler, metrics=metrics
@@ -159,6 +180,14 @@ def _cmd_route(args: argparse.Namespace) -> int:
     if args.profile:
         print(profiler.report("stage profile (wall-clock)"))
     return 0
+
+
+def _cmd_gradcheck(args: argparse.Namespace) -> int:
+    from repro.utils.gradcheck import run_gradcheck
+
+    report = run_gradcheck(seed=args.seed, tol=args.tol)
+    print(report.render())
+    return 0 if report.passed else 1
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
@@ -281,6 +310,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stream run telemetry to PATH as JSONL (one event "
                         "per line; appended on checkpoint resume) and print "
                         "the metrics report")
+    p.add_argument("--check-invariants", choices=("off", "warn", "raise"),
+                   default=None,
+                   help="numeric-contract checking mode (default: the "
+                        "REPRO_CHECK_INVARIANTS environment variable, or off)")
     p.set_defaults(func=_cmd_place)
 
     p = sub.add_parser("route", help="route a placed design")
@@ -293,6 +326,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="stream run telemetry to PATH as JSONL and print "
                         "the metrics report")
+    p.add_argument("--check-invariants", choices=("off", "warn", "raise"),
+                   default=None,
+                   help="numeric-contract checking mode (default: the "
+                        "REPRO_CHECK_INVARIANTS environment variable, or off)")
     p.set_defaults(func=_cmd_route)
 
     p = sub.add_parser("bench", help="run a Table I/II sweep (parallelizable)")
@@ -312,6 +349,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the merged per-design telemetry stream "
                         "(one JSONL segment per design, input order)")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "gradcheck",
+        help="validate analytic gradients against central differences",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tol", type=float, default=1e-4,
+                   help="maximum allowed relative error per check")
+    p.set_defaults(func=_cmd_gradcheck)
 
     p = sub.add_parser("eval", help="score a placed design")
     p.add_argument("input")

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.density.poisson import SpectralWorkspace
 from repro.geometry.grid import Grid2D
+from repro.utils.contracts import CONTRACTS
 
 
 class CongestionField:
@@ -48,6 +49,17 @@ class CongestionField:
         self.potential, self.field_x, self.field_y = SpectralWorkspace.for_grid(
             grid
         ).solve(utilization, workers=fft_workers)
+        if CONTRACTS.enabled:
+            site = "congestion_field"
+            CONTRACTS.check_array(site, "potential", self.potential, finite=True)
+            CONTRACTS.check_array(site, "field_x", self.field_x, finite=True)
+            CONTRACTS.check_array(site, "field_y", self.field_y, finite=True)
+            # Neumann-BC spectral solve: Eq. (1) is only solvable after
+            # the mean shift, and the solved psi must be mean-free
+            CONTRACTS.check_charge_neutrality(site, self.potential)
+            # Parseval: the balanced charge's self-energy is a sum of
+            # non-negative modal terms
+            CONTRACTS.check_field_energy(site, utilization, self.potential)
 
     # ------------------------------------------------------------------
     def potential_at(self, x, y) -> np.ndarray:

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.geometry.grid import Grid2D
 from repro.netlist.netlist import Netlist
+from repro.utils.contracts import CONTRACTS
 
 
 @dataclass
@@ -56,9 +57,10 @@ class MomentumInflation:
         self._prev_cong: np.ndarray | None = None
         self._prev_mean: float = 0.0
         self.round = 0
-        # diagnostics of the most recent update (telemetry only, not
-        # part of the resumable state): cells whose Eq. 12 correction
-        # fired negative this round
+        # diagnostics of the most recent update: cells whose Eq. 12
+        # correction fired negative this round.  Part of the resumable
+        # state — a resumed flow must emit the same rd.round telemetry
+        # as the uninterrupted run.
         self.last_n_deflated = 0
 
     # ------------------------------------------------------------------
@@ -102,6 +104,15 @@ class MomentumInflation:
         self.rates = np.clip(self.rates + self.delta_rates, cfg.r_min, cfg.r_max)
         self._prev_cong = c.copy()
         self._prev_mean = float(c.mean()) if len(c) else 0.0
+        if CONTRACTS.enabled:
+            # Eq. 11 clamp: rates in [r_min, r_max] and finite for any
+            # (even NaN/Inf-poisoned) congestion input
+            CONTRACTS.check_range(
+                "inflation.update", "rates", self.rates, cfg.r_min, cfg.r_max
+            )
+            CONTRACTS.check_array(
+                "inflation.update", "delta_rates", self.delta_rates, finite=True
+            )
         return self.rates
 
     def _correction(self, c: np.ndarray) -> np.ndarray:
@@ -138,6 +149,7 @@ class MomentumInflation:
         self._prev_cong = None
         self._prev_mean = 0.0
         self.round = 0
+        self.last_n_deflated = 0
 
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
@@ -148,6 +160,7 @@ class MomentumInflation:
             "prev_cong": None if self._prev_cong is None else self._prev_cong.copy(),
             "prev_mean": self._prev_mean,
             "round": self.round,
+            "last_n_deflated": self.last_n_deflated,
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -160,6 +173,8 @@ class MomentumInflation:
         self._prev_cong = None if prev is None else np.array(prev, dtype=np.float64)
         self._prev_mean = float(state["prev_mean"])
         self.round = int(state["round"])
+        # snapshots written before this field existed default to 0
+        self.last_n_deflated = int(state.get("last_n_deflated", 0))
 
 
 def congestion_at_cell_centers(

@@ -14,6 +14,7 @@ import numpy as np
 from repro.core.congestion_field import CongestionField
 from repro.geometry.grid import Grid2D
 from repro.netlist.netlist import Netlist
+from repro.utils.contracts import CONTRACTS
 
 
 def multi_pin_cell_gradients(
@@ -49,4 +50,8 @@ def multi_pin_cell_gradients(
         )
         grad_x[ids] = gx
         grad_y[ids] = gy
+    if CONTRACTS.enabled:
+        site = "multipin.multi_pin_cell_gradients"
+        CONTRACTS.check_array(site, "grad_x", grad_x, shape=(n_cells,), finite=True)
+        CONTRACTS.check_array(site, "grad_y", grad_y, shape=(n_cells,), finite=True)
     return grad_x, grad_y, selected

@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.congestion_field import CongestionField
 from repro.geometry.grid import Grid2D
 from repro.netlist.netlist import Netlist
+from repro.utils.contracts import CONTRACTS
 
 
 @dataclass
@@ -156,7 +157,15 @@ def two_pin_net_gradients(
     n_cells = netlist.n_cells
     grad_x = np.zeros(n_cells)
     grad_y = np.zeros(n_cells)
+    # a two-pin net whose pins sit on the *same* cell has no segment to
+    # move perpendicular to: applying Eq. (9) to both endpoints would
+    # deposit the projected gradient twice onto one cell, doubling its
+    # force.  Such nets are masked out of the update.
     act = info["active"]
+    if act.any():
+        same_cell = netlist.pin_cell[info["p1"]] == netlist.pin_cell[info["p2"]]
+        act = act & ~same_cell
+        info["active"] = act
     if not act.any():
         info["lx"] = np.zeros(0)
         return grad_x, grad_y, info
@@ -199,6 +208,15 @@ def two_pin_net_gradients(
 
     grad_x[netlist.cell_fixed] = 0.0
     grad_y[netlist.cell_fixed] = 0.0
+    if CONTRACTS.enabled:
+        CONTRACTS.check_array(
+            "netmove.two_pin_net_gradients", "grad_x", grad_x,
+            shape=(n_cells,), finite=True,
+        )
+        CONTRACTS.check_array(
+            "netmove.two_pin_net_gradients", "grad_y", grad_y,
+            shape=(n_cells,), finite=True,
+        )
     info["perp_x"] = perp_x
     info["perp_y"] = perp_y
     return grad_x, grad_y, info

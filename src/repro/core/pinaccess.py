@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geometry.grid import Grid2D
+from repro.utils.contracts import CONTRACTS
 
 
 @dataclass
@@ -59,8 +60,26 @@ def pg_density_charge(
     cfg = config or PinAccessConfig()
     if rail_area.shape != grid.shape or congestion.shape != grid.shape:
         raise ValueError("map shapes must match the grid")
-    mean_c = float(congestion.mean())
-    eta = congestion > mean_c
+    finite = np.isfinite(congestion)
+    if finite.all():
+        mean_c = float(congestion.mean())
+        eta = congestion > mean_c
+        return np.where(
+            eta, cfg.density_scale * (1.0 + congestion) * rail_area, 0.0
+        )
+    # a single NaN used to poison congestion.mean() (NaN compares False
+    # everywhere), silently turning eta all-False and disabling DPA for
+    # the round; compute C_bar over the finite bins and never select a
+    # non-finite bin (its charge would be garbage anyway)
+    n_bad = int(congestion.size - np.count_nonzero(finite))
+    if CONTRACTS.enabled:
+        CONTRACTS.violate(
+            "pinaccess.pg_density_charge",
+            "dpa.finite_congestion",
+            f"{n_bad}/{congestion.size} non-finite congestion bins",
+        )
+    mean_c = float(congestion[finite].mean()) if finite.any() else 0.0
+    eta = finite & (congestion > mean_c)
     return np.where(
         eta, cfg.density_scale * (1.0 + congestion) * rail_area, 0.0
     )

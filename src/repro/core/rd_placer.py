@@ -63,6 +63,7 @@ from repro.utils.checkpoint import (
     read_checkpoint,
     write_checkpoint,
 )
+from repro.utils.contracts import CONTRACTS
 from repro.utils.guards import GuardEvent, GuardLog, all_finite, scrub_nonfinite
 from repro.utils.logging import get_logger
 from repro.utils.metrics import NULL
@@ -666,6 +667,12 @@ class RoutabilityDrivenPlacer:
             "stall": state.stall,
             "initial_iters": state.initial_iters,
             "last_lambda2": self.last_lambda2,
+            # Alg. 1 / Alg. 2 gradient norms from the last solver
+            # evaluation feed the *next* round's record, so a resumed
+            # flow must carry them or its telemetry diverges from an
+            # uninterrupted run
+            "last_netmove_l1": self.last_netmove_l1,
+            "last_multipin_l1": self.last_multipin_l1,
             "selected_rails": [
                 [r.rect.xlo, r.rect.ylo, r.rect.xhi, r.rect.yhi, int(r.horizontal)]
                 for r in state.selected_rails
@@ -688,6 +695,7 @@ class RoutabilityDrivenPlacer:
                 "prev_mean": infl_state["prev_mean"],
                 "round": infl_state["round"],
                 "has_prev_cong": infl_state["prev_cong"] is not None,
+                "last_n_deflated": infl_state["last_n_deflated"],
             },
             "has_best": state.best_positions is not None,
         }
@@ -721,6 +729,7 @@ class RoutabilityDrivenPlacer:
             meta["best_inflation"] = {
                 "prev_mean": best_infl["prev_mean"],
                 "round": best_infl["round"],
+                "last_n_deflated": best_infl["last_n_deflated"],
             }
 
         with self.profiler.timer("rd.checkpoint"):
@@ -792,9 +801,14 @@ class RoutabilityDrivenPlacer:
                 "prev_cong": arrays.get("infl_prev_cong"),
                 "prev_mean": meta["inflation"]["prev_mean"],
                 "round": meta["inflation"]["round"],
+                # absent in pre-existing snapshots; resumes as 0 there
+                "last_n_deflated": meta["inflation"].get("last_n_deflated", 0),
             }
         )
         self.last_lambda2 = float(meta["last_lambda2"])
+        # absent in pre-existing snapshots; resumes as 0.0 there
+        self.last_netmove_l1 = float(meta.get("last_netmove_l1", 0.0))
+        self.last_multipin_l1 = float(meta.get("last_multipin_l1", 0.0))
 
         state = _FlowState(
             next_round=int(meta["next_round"]),
@@ -835,6 +849,9 @@ class RoutabilityDrivenPlacer:
                 ),
                 "prev_mean": meta["best_inflation"]["prev_mean"],
                 "round": meta["best_inflation"]["round"],
+                "last_n_deflated": meta["best_inflation"].get(
+                    "last_n_deflated", 0
+                ),
             }
         with self.profiler.timer("rd.route"):
             state.routing = self.router.route(nl)
@@ -923,6 +940,12 @@ class RoutabilityDrivenPlacer:
                 self.gp.last_wl_grad_l1, l1, n_congested, nl.n_cells
             )
             self.last_lambda2 = lam2
+            if CONTRACTS.enabled:
+                # Eq. (10) weight: finite and non-negative by
+                # construction of congestion_penalty_weight
+                CONTRACTS.check_finite_scalar(
+                    "rd_placer.congestion_grad", "lambda2", lam2, nonneg=True
+                )
             return lam2 * gx, lam2 * gy
 
         return _grad

@@ -20,6 +20,7 @@ import numpy as np
 from repro.density.poisson import PoissonSolver
 from repro.density.rasterize import CellRasterizer
 from repro.geometry.grid import Grid2D
+from repro.utils.contracts import CONTRACTS
 
 
 @dataclass
@@ -112,6 +113,14 @@ class ElectrostaticSystem:
         grad_y = -raster.gather(ey)
 
         overflow = self.overflow(density, movable_area=float(raster.total_charge()))
+        if CONTRACTS.enabled:
+            site = "electrostatic.solve"
+            CONTRACTS.check_array(site, "density", density, finite=True)
+            CONTRACTS.check_array(site, "potential", psi, finite=True)
+            CONTRACTS.check_array(site, "grad_x", grad_x, finite=True)
+            CONTRACTS.check_array(site, "grad_y", grad_y, finite=True)
+            CONTRACTS.check_charge_neutrality(site, psi)
+            CONTRACTS.check_field_energy(site, density, psi)
         return FieldSolution(
             density=density,
             potential=psi,

@@ -20,6 +20,32 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geometry.rect import Rect
+from repro.utils.contracts import CONTRACTS
+
+
+def _sanitize_fractional(fx, site: str, axis: str):
+    """Replace non-finite fractional bin coordinates deterministically.
+
+    ``np.floor(nan).astype(int64)`` is platform-defined (INT64_MIN on
+    x86, 0 on ARM), so the downstream clip used to hide garbage that
+    differed between hosts.  NaN maps to 0 (the low-edge bin) and
+    +/-Inf saturates to the edge bins on every platform; under active
+    contracts the non-finite input is reported first.
+    """
+    finite = np.isfinite(fx)
+    if bool(np.all(finite)):
+        return fx
+    if CONTRACTS.enabled:
+        n_bad = int(np.size(finite) - np.count_nonzero(finite))
+        CONTRACTS.violate(
+            site,
+            "grid.finite_coords",
+            f"{n_bad} non-finite {axis}-coordinate(s)",
+        )
+    # +/-Inf saturate to +/-2^62: far beyond any grid (so the clip maps
+    # them to the edge bins) yet exactly castable to int64, unlike
+    # float64 max whose int cast overflows platform-dependently
+    return np.nan_to_num(fx, nan=0.0, posinf=2.0**62, neginf=-(2.0**62))
 
 
 @dataclass(frozen=True)
@@ -60,18 +86,16 @@ class Grid2D:
         """Bin indices ``(i, j)`` containing point(s) ``(x, y)``.
 
         Accepts scalars or numpy arrays; points outside the region are
-        clamped to the boundary bins.
+        clamped to the boundary bins.  Non-finite coordinates are
+        sanitized deterministically (NaN -> bin 0, +/-Inf -> the edge
+        bins) and reported when contracts are active.
         """
-        i = np.clip(
-            np.floor((np.asarray(x) - self.region.xlo) / self.dx).astype(np.int64),
-            0,
-            self.nx - 1,
-        )
-        j = np.clip(
-            np.floor((np.asarray(y) - self.region.ylo) / self.dy).astype(np.int64),
-            0,
-            self.ny - 1,
-        )
+        fx = (np.asarray(x, dtype=np.float64) - self.region.xlo) / self.dx
+        fy = (np.asarray(y, dtype=np.float64) - self.region.ylo) / self.dy
+        fx = _sanitize_fractional(fx, "grid.index_of", "x")
+        fy = _sanitize_fractional(fy, "grid.index_of", "y")
+        i = np.clip(np.floor(fx).astype(np.int64), 0, self.nx - 1)
+        j = np.clip(np.floor(fy).astype(np.int64), 0, self.ny - 1)
         if np.isscalar(x) or (hasattr(i, "ndim") and i.ndim == 0):
             return int(i), int(j)
         return i, j
@@ -124,6 +148,10 @@ class Grid2D:
             )
         fx = (np.asarray(x, dtype=np.float64) - self.region.xlo) / self.dx - 0.5
         fy = (np.asarray(y, dtype=np.float64) - self.region.ylo) / self.dy - 0.5
+        # np.clip passes NaN through and np.floor(nan).astype(int64) is
+        # platform-defined; sanitize before clipping
+        fx = _sanitize_fractional(fx, "grid.bilinear_at", "x")
+        fy = _sanitize_fractional(fy, "grid.bilinear_at", "y")
         fx = np.clip(fx, 0.0, self.nx - 1.0)
         fy = np.clip(fy, 0.0, self.ny - 1.0)
         i0 = np.floor(fx).astype(np.int64)

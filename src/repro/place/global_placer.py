@@ -32,6 +32,7 @@ from repro.optim.adam import AdamOptimizer
 from repro.optim.nesterov import NesterovOptimizer
 from repro.place.config import GPConfig, auto_grid_dim
 from repro.place.initial import initial_placement, scatter_fillers
+from repro.utils.contracts import CONTRACTS
 from repro.utils.guards import (
     DivergenceSentinel,
     GuardEvent,
@@ -274,6 +275,13 @@ class GlobalPlacer:
             # over capacity yet the wirelength term dominates forever
             if sol.overflow > 0.4:
                 self.density_weight = max(self.density_weight, ratio_unit)
+        if CONTRACTS.enabled:
+            CONTRACTS.check_finite_scalar(
+                "global_placer.gradient",
+                "density_weight",
+                self.density_weight,
+                nonneg=True,
+            )
 
         gx = np.zeros(n + m)
         gy = np.zeros(n + m)

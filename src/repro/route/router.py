@@ -37,6 +37,7 @@ from repro.route.decompose import segment_endpoints
 from repro.route.grid import RoutingGrid
 from repro.route.patterns import PatternRouter, RoutedPath, RoutedPathBatch
 from repro.utils import faults
+from repro.utils.contracts import CONTRACTS
 from repro.utils.logging import get_logger
 from repro.utils.metrics import NULL
 from repro.utils.profile import StageProfiler
@@ -130,6 +131,17 @@ class GlobalRouter:
                     self._pass_fallbacks += 1
                     result = self._route_scalar(netlist)
                     result.n_fallbacks = self._pass_fallbacks
+        if CONTRACTS.enabled:
+            # both engines commit demand through the same accounting;
+            # whatever path produced the maps, demand must stay finite
+            # and non-negative after all rip-up/uncommit cycles
+            CONTRACTS.check_demand_conservation(
+                "router.route", result.grid.h_demand, result.grid.v_demand
+            )
+            CONTRACTS.check_array(
+                "router.route", "congestion", result.congestion_map,
+                finite=True, min_value=0.0,
+            )
         self._emit_pass(result)
         return result
 

@@ -1,6 +1,12 @@
 """Shared utilities: logging, seeded RNG, timers, profiling, telemetry."""
 
 from repro.utils.clock import Clock, FakeClock, SystemClock
+from repro.utils.contracts import (
+    CONTRACTS,
+    ContractChecker,
+    ContractViolation,
+    configure as configure_contracts,
+)
 from repro.utils.logging import get_logger
 from repro.utils.metrics import (
     NULL,
@@ -19,6 +25,10 @@ from repro.utils.rng import make_rng
 from repro.utils.timer import Timer
 
 __all__ = [
+    "CONTRACTS",
+    "ContractChecker",
+    "ContractViolation",
+    "configure_contracts",
     "get_logger",
     "make_rng",
     "Clock",

@@ -1,0 +1,401 @@
+"""Differential checker for the hand-derived analytic gradients.
+
+The paper's placement techniques rest on four analytic gradient
+derivations: the spectral congestion/density field of Eq. (1), the
+two-pin net-moving chain of Alg. 1 (Eq. 6-9), the multi-pin cell
+gradients of Alg. 2, and the WA wirelength gradient of Sec. II-A.  The
+golden regression suite freezes their *outputs*; it cannot tell a
+faithful gradient from a consistently wrong one.  This module closes
+that gap with central-difference checks on seeded synthetic inputs:
+
+``dc_field``
+    A real spectral solve on a smooth charge map.  The solver's field
+    at bin centers is the exact term-by-term derivative of the cosine
+    series; the checker differentiates an *independently evaluated*
+    direct basis summation of the same series numerically and compares.
+
+``netmove`` / ``multipin``
+    A crafted globally-bilinear potential ``psi = a + bx + cy + dxy``
+    (the only family the bilinear map interpolation reproduces exactly
+    everywhere inside the bin-center hull) is written into a real
+    :class:`~repro.core.congestion_field.CongestionField`.  The Alg. 1
+    and Alg. 2 implementations run unmodified; the checker rebuilds the
+    same chains scalar-by-scalar with the field gradient replaced by a
+    central difference of ``potential_at``.
+
+``wa``
+    The closed-form WA gradient against central differences of the WA
+    objective itself, on a generated toy design.
+
+Each check reports its maximum relative error; ``repro gradcheck``
+renders the report and exits non-zero if any check misses the
+tolerance (1e-4 by default — the central-difference truncation floor
+for the chosen step sizes is orders of magnitude below that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import fft as sfft
+
+from repro.core.congestion_field import CongestionField
+from repro.core.multipin import multi_pin_cell_gradients
+from repro.core.netmove import NetMoveConfig, two_pin_net_gradients
+from repro.geometry.grid import Grid2D
+from repro.geometry.rect import Rect
+from repro.netlist.data import CellSpec, NetSpec, PinSpec
+from repro.netlist.netlist import Netlist
+from repro.utils.rng import make_rng
+from repro.wirelength.wa import wa_wirelength_and_grad
+
+
+# ----------------------------------------------------------------------
+# report containers
+# ----------------------------------------------------------------------
+@dataclass
+class CheckResult:
+    """Outcome of one differential check."""
+
+    name: str
+    max_rel_error: float
+    tol: float
+    n_samples: int
+
+    @property
+    def passed(self) -> bool:
+        """True when the worst relative error is within tolerance."""
+        return bool(self.max_rel_error < self.tol)
+
+
+@dataclass
+class GradCheckReport:
+    """All check results of one :func:`run_gradcheck` invocation."""
+
+    seed: int
+    tol: float
+    results: list = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every individual check passed."""
+        return all(r.passed for r in self.results)
+
+    def render(self) -> str:
+        """Human-readable result table."""
+        lines = [
+            f"gradcheck  seed={self.seed}  tol={self.tol:.1e}",
+            f"{'check':<12} {'samples':>8} {'max rel err':>14}  status",
+        ]
+        for r in self.results:
+            status = "ok" if r.passed else "FAIL"
+            lines.append(
+                f"{r.name:<12} {r.n_samples:>8} {r.max_rel_error:>14.3e}  {status}"
+            )
+        lines.append("PASSED" if self.passed else "FAILED")
+        return "\n".join(lines)
+
+
+def _max_rel_error(analytic, numeric) -> float:
+    """Worst absolute deviation over the larger of the two scales."""
+    a = np.asarray(analytic, dtype=np.float64).ravel()
+    n = np.asarray(numeric, dtype=np.float64).ravel()
+    scale = max(float(np.abs(a).max(initial=0.0)),
+                float(np.abs(n).max(initial=0.0)), 1e-12)
+    return float(np.abs(a - n).max(initial=0.0) / scale)
+
+
+# ----------------------------------------------------------------------
+# direct cosine-series evaluation (independent of the solver path)
+# ----------------------------------------------------------------------
+def _cosine_series(grid: Grid2D, rho: np.ndarray):
+    """Continuous extension of the spectral solution as a callable.
+
+    Reproduces the solver's normalization from first principles:
+    scipy's unnormalized ``idctn(type=2)`` expands the coefficient map
+    ``coef`` as::
+
+        psi[i, j] = 1/(4 nx ny) * sum_{u,v} m_u m_v coef[u, v]
+                    * cos(w_u (x_i - xlo)) * cos(w_v (y_j - ylo))
+
+    with ``m_0 = 1``, ``m_{u>0} = 2`` and ``w_u = pi u / (nx dx)``
+    (the bin-center identity ``w_u (x_i - xlo) = pi u (2i+1) / (2 nx)``
+    makes the two forms coincide).  Evaluating the sum at arbitrary
+    ``(x, y)`` gives a smooth function whose *numeric* derivative the
+    solver's spectral field can be checked against.
+    """
+    nx, ny = grid.nx, grid.ny
+    balanced = rho - rho.mean()
+    a = sfft.dctn(balanced, type=2)
+    wu = np.pi * np.arange(nx) / (nx * grid.dx)
+    wv = np.pi * np.arange(ny) / (ny * grid.dy)
+    denom = wu[:, None] ** 2 + wv[None, :] ** 2
+    denom[0, 0] = 1.0
+    coef = a / denom
+    coef[0, 0] = 0.0
+    mu = np.where(np.arange(nx) == 0, 1.0, 2.0)
+    mv = np.where(np.arange(ny) == 0, 1.0, 2.0)
+    weights = coef * mu[:, None] * mv[None, :] / (4.0 * nx * ny)
+    xlo, ylo = grid.region.xlo, grid.region.ylo
+
+    def psi(x: float, y: float) -> float:
+        """Direct basis summation at one continuous point."""
+        cx = np.cos(wu * (x - xlo))
+        cy = np.cos(wv * (y - ylo))
+        return float(cx @ weights @ cy)
+
+    return psi
+
+
+def check_dc_field(seed: int = 0, tol: float = 1e-4) -> CheckResult:
+    """Spectral field vs numeric derivative of the cosine series.
+
+    Builds a real :class:`CongestionField` on a smooth seeded charge
+    map and compares ``gradient_at`` sampled at bin centers (where the
+    bilinear lookup returns the spectral derivative exactly) against
+    central differences of the independent direct-summation potential.
+    """
+    rng = make_rng(seed)
+    grid = Grid2D(Rect(0.0, 0.0, 8.0, 8.0), 16, 16)
+    cx, cy = grid.centers()
+    rho = np.full(grid.shape, 0.1)
+    for _ in range(4):
+        x0, y0 = rng.uniform(1.5, 6.5, size=2)
+        sig = rng.uniform(0.6, 1.4)
+        amp = rng.uniform(0.5, 2.0)
+        rho = rho + amp * np.exp(
+            -((cx - x0) ** 2 + (cy - y0) ** 2) / (2.0 * sig**2)
+        )
+
+    fld = CongestionField(grid, rho)
+    psi = _cosine_series(grid, rho)
+    area = 1.7
+    h = 1e-3 * grid.dx
+
+    n_samples = 48
+    ii = rng.integers(0, grid.nx, size=n_samples)
+    jj = rng.integers(0, grid.ny, size=n_samples)
+    analytic = []
+    numeric = []
+    for i, j in zip(ii, jj):
+        px, py = grid.center_of(int(i), int(j))
+        px, py = float(px), float(py)
+        gx, gy = fld.gradient_at(px, py, area)
+        analytic.append((float(gx), float(gy)))
+        # minimization gradient = area * d(psi)/d(pos)
+        nx_ = area * (psi(px + h, py) - psi(px - h, py)) / (2.0 * h)
+        ny_ = area * (psi(px, py + h) - psi(px, py - h)) / (2.0 * h)
+        numeric.append((nx_, ny_))
+    return CheckResult(
+        name="dc_field",
+        max_rel_error=_max_rel_error(analytic, numeric),
+        tol=tol,
+        n_samples=2 * n_samples,
+    )
+
+
+# ----------------------------------------------------------------------
+# crafted bilinear field scenes (Alg. 1 / Alg. 2)
+# ----------------------------------------------------------------------
+def _bilinear_field(grid: Grid2D, coeffs: tuple, base: np.ndarray):
+    """A :class:`CongestionField` carrying ``psi = a + bx + cy + dxy``.
+
+    The field object is built by a real solve (so its plumbing is the
+    production one) and then its maps are overwritten with the bilinear
+    potential sampled at bin centers and its exact derivatives
+    (``field_x`` stores ``E_x = -d(psi)/dx``).  Bilinear interpolation
+    reproduces a globally bilinear function exactly everywhere inside
+    the bin-center hull, so ``potential_at`` / ``gradient_at`` become
+    closed-form — the property the Alg. 1/2 checks lean on.
+    """
+    a, b, c, d = coeffs
+    fld = CongestionField(grid, base)
+    gx, gy = grid.centers()
+    fld.potential = a + b * gx + c * gy + d * gx * gy
+    fld.field_x = -(b + d * gy)
+    fld.field_y = -(c + d * gx)
+    return fld
+
+
+def _two_pin_scene(seed: int):
+    """Netlist of interior two-pin nets + smooth congestion on a grid."""
+    rng = make_rng(seed)
+    die = Rect(0.0, 0.0, 10.0, 10.0)
+    grid = Grid2D(die, 20, 20)
+    cells = []
+    nets = []
+    for k in range(8):
+        xa, ya, xb, yb = rng.uniform(1.5, 8.5, size=4)
+        # keep every net a genuine segment (Eq. 9 divides by lengths)
+        if abs(xa - xb) + abs(ya - yb) < 0.5:
+            xb = xa + 1.0
+            yb = ya + 0.7
+        ca = CellSpec(f"a{k}", 0.5, 0.5, x=xa, y=ya)
+        cb = CellSpec(f"b{k}", 0.5, 0.5, x=xb, y=yb)
+        cells.extend([ca, cb])
+        nets.append(
+            NetSpec(f"n{k}", pins=[PinSpec(ca.name), PinSpec(cb.name)])
+        )
+    # one fixed endpoint exercises the fixed-cell zeroing
+    cells[0] = CellSpec(
+        cells[0].name, 0.5, 0.5, x=cells[0].x, y=cells[0].y, fixed=True
+    )
+    netlist = Netlist.from_specs("gradcheck2p", die, cells, nets)
+    gx, gy = grid.centers()
+    congestion = 0.2 + np.exp(
+        -((gx - 5.0) ** 2 + (gy - 5.0) ** 2) / (2.0 * 2.5**2)
+    )
+    return netlist, grid, congestion
+
+
+def check_netmove(seed: int = 0, tol: float = 1e-4) -> CheckResult:
+    """Alg. 1 gradients vs a scalar rebuild with numeric field gradients.
+
+    Runs the vectorized :func:`two_pin_net_gradients` on the crafted
+    bilinear field, then reconstructs Eq. 9 net-by-net with the virtual
+    cell's field gradient replaced by central differences of
+    ``potential_at``.  Validates both the analytic field derivative and
+    the vectorized projection/scaling chain.
+    """
+    netlist, grid, congestion = _two_pin_scene(seed)
+    fld = _bilinear_field(grid, (0.3, 0.8, -0.5, 0.25), congestion)
+    cfg = NetMoveConfig()
+    virtual_area = 0.25
+    grad_x, grad_y, info = two_pin_net_gradients(
+        netlist, grid, congestion, fld, virtual_area, cfg
+    )
+
+    h = 1e-4 * grid.dx
+    exp_x = np.zeros(netlist.n_cells)
+    exp_y = np.zeros(netlist.n_cells)
+    px, py = netlist.pin_positions()
+    active = np.flatnonzero(info["active"])
+    for k in active:
+        p1, p2 = int(info["p1"][k]), int(info["p2"][k])
+        xv, yv = float(info["xv"][k]), float(info["yv"][k])
+        gvx = virtual_area * (
+            float(fld.potential_at(xv + h, yv)) - float(fld.potential_at(xv - h, yv))
+        ) / (2.0 * h)
+        gvy = virtual_area * (
+            float(fld.potential_at(xv, yv + h)) - float(fld.potential_at(xv, yv - h))
+        ) / (2.0 * h)
+        x1, y1, x2, y2 = px[p1], py[p1], px[p2], py[p2]
+        length = float(np.hypot(x2 - x1, y2 - y1))
+        nx_ = -(y2 - y1) / max(length, 1e-12)
+        ny_ = (x2 - x1) / max(length, 1e-12)
+        if nx_ * gvx + ny_ * gvy < 0:
+            nx_, ny_ = -nx_, -ny_
+        dot = gvx * nx_ + gvy * ny_
+        for pin, xs, ys in ((p1, x1, y1), (p2, x2, y2)):
+            dist = float(np.hypot(xv - xs, yv - ys))
+            scale = min(length / (2.0 * max(dist, 1e-12)), cfg.max_scale)
+            cell = int(netlist.pin_cell[pin])
+            exp_x[cell] += scale * dot * nx_
+            exp_y[cell] += scale * dot * ny_
+    exp_x[netlist.cell_fixed] = 0.0
+    exp_y[netlist.cell_fixed] = 0.0
+    return CheckResult(
+        name="netmove",
+        max_rel_error=_max_rel_error(
+            np.concatenate([grad_x, grad_y]), np.concatenate([exp_x, exp_y])
+        ),
+        tol=tol,
+        n_samples=2 * netlist.n_cells,
+    )
+
+
+def check_multipin(seed: int = 0, tol: float = 1e-4) -> CheckResult:
+    """Alg. 2 gradients vs numeric differences at the selected cells."""
+    rng = make_rng(seed)
+    die = Rect(0.0, 0.0, 10.0, 10.0)
+    grid = Grid2D(die, 20, 20)
+    cells = []
+    nets = []
+    # four hub cells with 3 pins each (above-average pin count) plus
+    # twelve single-pin leaves
+    for k in range(4):
+        hx, hy = rng.uniform(2.0, 8.0, size=2)
+        cells.append(CellSpec(f"hub{k}", 0.6, 0.6, x=hx, y=hy))
+    for k in range(12):
+        lx, ly = rng.uniform(1.5, 8.5, size=2)
+        cells.append(CellSpec(f"leaf{k}", 0.4, 0.4, x=lx, y=ly))
+    for k in range(12):
+        nets.append(
+            NetSpec(
+                f"n{k}",
+                pins=[PinSpec(f"hub{k % 4}"), PinSpec(f"leaf{k}")],
+            )
+        )
+    netlist = Netlist.from_specs("gradcheckmp", die, cells, nets)
+    congestion = np.full(grid.shape, 1.0)  # every cell above threshold
+    fld = _bilinear_field(grid, (-0.2, 0.6, 0.9, -0.35), congestion)
+
+    grad_x, grad_y, selected = multi_pin_cell_gradients(
+        netlist, grid, congestion, fld, threshold=0.7
+    )
+    h = 1e-4 * grid.dx
+    analytic = []
+    numeric = []
+    for cell in np.flatnonzero(selected):
+        x0, y0 = float(netlist.x[cell]), float(netlist.y[cell])
+        area = float(netlist.cell_area[cell])
+        analytic.append((grad_x[cell], grad_y[cell]))
+        nx_ = area * (
+            float(fld.potential_at(x0 + h, y0)) - float(fld.potential_at(x0 - h, y0))
+        ) / (2.0 * h)
+        ny_ = area * (
+            float(fld.potential_at(x0, y0 + h)) - float(fld.potential_at(x0, y0 - h))
+        ) / (2.0 * h)
+        numeric.append((nx_, ny_))
+    if not analytic:  # pragma: no cover — scene always selects the hubs
+        return CheckResult("multipin", np.inf, tol, 0)
+    return CheckResult(
+        name="multipin",
+        max_rel_error=_max_rel_error(analytic, numeric),
+        tol=tol,
+        n_samples=2 * len(analytic),
+    )
+
+
+def check_wa(seed: int = 0, tol: float = 1e-4) -> CheckResult:
+    """WA wirelength analytic gradient vs central differences."""
+    from repro.synth import toy_design
+
+    netlist = toy_design(60, seed=seed)
+    gamma = 0.02 * min(netlist.die.width, netlist.die.height)
+    _, grad_x, grad_y = wa_wirelength_and_grad(netlist, gamma)
+
+    rng = make_rng(seed + 1)
+    movable = np.flatnonzero(netlist.movable)
+    picks = rng.choice(movable, size=min(16, len(movable)), replace=False)
+    h = 1e-3 * gamma
+    analytic = []
+    numeric = []
+    for cell in picks:
+        for coords, grad in ((netlist.x, grad_x), (netlist.y, grad_y)):
+            orig = coords[cell]
+            coords[cell] = orig + h
+            wl_hi, _, _ = wa_wirelength_and_grad(netlist, gamma)
+            coords[cell] = orig - h
+            wl_lo, _, _ = wa_wirelength_and_grad(netlist, gamma)
+            coords[cell] = orig
+            analytic.append(float(grad[cell]))
+            numeric.append((wl_hi - wl_lo) / (2.0 * h))
+    return CheckResult(
+        name="wa",
+        max_rel_error=_max_rel_error(analytic, numeric),
+        tol=tol,
+        n_samples=len(analytic),
+    )
+
+
+# ----------------------------------------------------------------------
+def run_gradcheck(seed: int = 0, tol: float = 1e-4) -> GradCheckReport:
+    """Run every differential check and collect a report."""
+    report = GradCheckReport(seed=seed, tol=tol)
+    report.results.append(check_dc_field(seed, tol))
+    report.results.append(check_netmove(seed, tol))
+    report.results.append(check_multipin(seed, tol))
+    report.results.append(check_wa(seed, tol))
+    return report

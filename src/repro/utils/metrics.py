@@ -82,6 +82,9 @@ EVENT_FIELDS: dict = {
     "rd.start": ("design", "n_cells", "n_nets"),
     "rd.resume": ("round",),
     "rd.checkpoint": ("round",),
+    # one per numeric-contract violation (warn/raise modes; see
+    # repro.utils.contracts)
+    "contract.violation": ("site", "contract", "detail"),
     # one per global-routing pass
     "route.pass": (
         "n_segments",

@@ -97,3 +97,21 @@ def _no_leaked_injector():
     leaked = faults.active() is not None
     faults.uninstall()
     assert not leaked, "test left a FaultInjector installed"
+
+
+@pytest.fixture(autouse=True)
+def _reset_contracts():
+    """Restore the shared contract checker between tests.
+
+    Tests that flip :data:`repro.utils.contracts.CONTRACTS` into warn
+    or raise mode must not leak that mode (or recorded violations, or
+    an attached metrics registry) into later tests.  The environment
+    default is restored so `REPRO_CHECK_INVARIANTS=raise` CI runs keep
+    contracts armed across the whole suite.
+    """
+    from repro.utils import contracts
+
+    yield
+    contracts.CONTRACTS.set_mode(contracts.env_default_mode())
+    contracts.CONTRACTS.reset()
+    contracts.CONTRACTS.attach_metrics(None)

@@ -1,0 +1,254 @@
+"""Numeric-contract layer tests: modes, checks, telemetry, overhead."""
+
+from __future__ import annotations
+
+import json
+import timeit
+
+import numpy as np
+import pytest
+
+from repro.core.congestion_field import CongestionField
+from repro.core.inflation import MomentumInflation
+from repro.core.pinaccess import pg_density_charge
+from repro.density.electrostatic import ElectrostaticSystem
+from repro.geometry import Grid2D, Rect
+from repro.utils import contracts
+from repro.utils.contracts import ContractChecker, ContractViolation
+from repro.utils.metrics import MemorySink, MetricsRegistry, validate_stream
+
+
+class TestModes:
+    def test_default_is_off(self):
+        c = ContractChecker()
+        assert c.mode == "off"
+        assert c.enabled is False
+
+    def test_set_mode(self):
+        c = ContractChecker()
+        c.set_mode("warn")
+        assert c.enabled is True
+        c.set_mode("raise")
+        assert c.mode == "raise"
+        c.set_mode("off")
+        assert c.enabled is False
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown contracts mode"):
+            ContractChecker("loud")
+
+    def test_configure_shared(self):
+        got = contracts.configure(mode="warn")
+        assert got is contracts.CONTRACTS
+        assert contracts.CONTRACTS.mode == "warn"
+        # mode=None leaves the current mode untouched
+        contracts.configure(mode=None)
+        assert contracts.CONTRACTS.mode == "warn"
+
+    def test_env_default_mode_unknown_is_off(self, monkeypatch):
+        monkeypatch.setenv(contracts.ENV_VAR, "banana")
+        assert contracts.env_default_mode() == "off"
+        monkeypatch.setenv(contracts.ENV_VAR, "raise")
+        assert contracts.env_default_mode() == "raise"
+
+
+class TestViolate:
+    def test_off_is_noop(self):
+        c = ContractChecker("off")
+        c.violate("site", "contract", "detail")
+        assert c.n_violations == 0
+        assert c.violations == []
+
+    def test_warn_records_without_raising(self):
+        c = ContractChecker("warn")
+        c.violate("s", "k", "d")
+        assert c.n_violations == 1
+        assert c.violations[0] == {"site": "s", "contract": "k", "detail": "d"}
+
+    def test_raise_mode_raises_with_attributes(self):
+        c = ContractChecker("raise")
+        with pytest.raises(ContractViolation) as exc:
+            c.violate("router.route", "route.demand_conservation", "boom")
+        assert exc.value.site == "router.route"
+        assert exc.value.contract == "route.demand_conservation"
+        assert "boom" in str(exc.value)
+
+    def test_recorded_violations_capped(self):
+        c = ContractChecker("warn")
+        for k in range(contracts.MAX_RECORDED + 50):
+            c.violate("s", "k", str(k))
+        assert c.n_violations == contracts.MAX_RECORDED + 50
+        assert len(c.violations) == contracts.MAX_RECORDED
+
+    def test_reset(self):
+        c = ContractChecker("warn")
+        c.violate("s", "k", "d")
+        c.reset()
+        assert c.n_violations == 0
+        assert c.violations == []
+
+
+class TestArrayChecks:
+    def test_shape_mismatch(self):
+        c = ContractChecker("warn")
+        c.check_array("s", "g", np.zeros(3), shape=(4,))
+        assert c.violations[0]["contract"] == "g.shape"
+
+    def test_dtype_mismatch(self):
+        c = ContractChecker("warn")
+        c.check_array("s", "g", np.zeros(3, dtype=np.float32), dtype=np.float64)
+        assert c.violations[0]["contract"] == "g.dtype"
+
+    def test_finite(self):
+        c = ContractChecker("warn")
+        c.check_array("s", "g", np.array([1.0, np.nan]), finite=True)
+        assert c.violations[0]["contract"] == "g.finite"
+
+    def test_range(self):
+        c = ContractChecker("warn")
+        c.check_range("s", "r", np.array([0.95, 2.1]), 0.9, 2.0)
+        assert c.violations[0]["contract"] == "r.range"
+        c.reset()
+        c.check_range("s", "r", np.array([0.95, 1.9]), 0.9, 2.0)
+        assert c.n_violations == 0
+
+    def test_finite_scalar(self):
+        c = ContractChecker("warn")
+        c.check_finite_scalar("s", "lam", np.inf)
+        assert c.violations[0]["contract"] == "lam.finite"
+        c.reset()
+        c.check_finite_scalar("s", "lam", -1.0, nonneg=True)
+        assert c.violations[0]["contract"] == "lam.nonneg"
+        c.reset()
+        c.check_finite_scalar("s", "lam", 0.5, nonneg=True)
+        assert c.n_violations == 0
+
+    def test_empty_array_passes(self):
+        c = ContractChecker("warn")
+        c.check_array("s", "g", np.zeros(0), finite=True, min_value=0.0)
+        assert c.n_violations == 0
+
+
+class TestPhysicalInvariants:
+    def _solved_field(self, rng):
+        grid = Grid2D(Rect(0, 0, 8, 8), 16, 16)
+        rho = rng.uniform(0.0, 2.0, size=grid.shape)
+        return grid, rho, CongestionField(grid, rho)
+
+    def test_charge_neutrality_holds_for_real_solve(self, rng):
+        c = ContractChecker("raise")
+        _, _, fld = self._solved_field(rng)
+        c.check_charge_neutrality("s", fld.potential)
+
+    def test_charge_neutrality_catches_shift(self, rng):
+        c = ContractChecker("warn")
+        _, _, fld = self._solved_field(rng)
+        c.check_charge_neutrality("s", fld.potential + 1.0)
+        assert c.violations[0]["contract"] == "poisson.charge_neutrality"
+
+    def test_field_energy_nonneg_for_real_solve(self, rng):
+        c = ContractChecker("raise")
+        _, rho, fld = self._solved_field(rng)
+        c.check_field_energy("s", rho, fld.potential)
+
+    def test_field_energy_catches_negated_potential(self, rng):
+        c = ContractChecker("warn")
+        _, rho, fld = self._solved_field(rng)
+        c.check_field_energy("s", rho, -fld.potential)
+        assert c.violations[0]["contract"] == "poisson.energy_nonneg"
+
+    def test_demand_conservation(self):
+        c = ContractChecker("warn")
+        good = np.ones((4, 4))
+        c.check_demand_conservation("s", good, good)
+        assert c.n_violations == 0
+        c.check_demand_conservation("s", good, good - 2.0)
+        assert c.violations[0]["contract"] == "route.demand_conservation"
+        c.reset()
+        bad = good.copy()
+        bad[0, 0] = np.nan
+        c.check_demand_conservation("s", bad, good)
+        assert "non-finite" in c.violations[0]["detail"]
+
+
+class TestTelemetry:
+    def test_violation_emits_event(self):
+        sink = MemorySink()
+        metrics = MetricsRegistry(sink=sink)
+        metrics.start_run(command="test")
+        c = ContractChecker("warn", metrics=metrics)
+        c.violate("grid.index_of", "grid.finite_coords", "2 bad")
+        metrics.close()
+        events = [json.loads(line) for line in sink.lines]
+        validate_stream(events)
+        hits = [e for e in events if e["kind"] == "contract.violation"]
+        assert len(hits) == 1
+        assert hits[0]["site"] == "grid.index_of"
+        assert hits[0]["contract"] == "grid.finite_coords"
+
+    def test_attach_metrics_none_detaches(self):
+        c = ContractChecker("warn")
+        sink = MemorySink()
+        metrics = MetricsRegistry(sink=sink)
+        metrics.start_run(command="test")
+        c.attach_metrics(metrics)
+        c.attach_metrics(None)
+        c.violate("s", "k", "d")
+        events = [json.loads(line) for line in sink.lines]
+        assert not [e for e in events if e["kind"] == "contract.violation"]
+
+
+class TestWiredSites:
+    """The contract layer actually fires at its production call sites."""
+
+    def test_grid_nonfinite_coordinate_reported(self, grid16):
+        contracts.configure(mode="warn")
+        grid16.index_of(np.array([1.0, np.nan]), np.array([1.0, 1.0]))
+        assert contracts.CONTRACTS.n_violations == 1
+        assert contracts.CONTRACTS.violations[0]["contract"] == "grid.finite_coords"
+
+    def test_pinaccess_nonfinite_congestion_reported(self, grid16):
+        contracts.configure(mode="warn")
+        cong = np.zeros(grid16.shape)
+        cong[3, 3] = np.nan
+        pg_density_charge(grid16, np.ones(grid16.shape), cong)
+        assert any(
+            v["contract"] == "dpa.finite_congestion"
+            for v in contracts.CONTRACTS.violations
+        )
+
+    def test_inflation_survives_poisoned_input_in_raise_mode(self):
+        contracts.configure(mode="raise")
+        infl = MomentumInflation(8)
+        c = np.full(8, np.nan)
+        rates = infl.update(c)  # sanitized internally; contract holds
+        assert np.isfinite(rates).all()
+
+    def test_electrostatic_solve_passes_in_raise_mode(self, rng):
+        contracts.configure(mode="raise")
+        grid = Grid2D(Rect(0, 0, 8, 8), 16, 16)
+        sys_ = ElectrostaticSystem(grid)
+        n = 30
+        x = rng.uniform(1, 7, n)
+        y = rng.uniform(1, 7, n)
+        w = np.full(n, 0.5)
+        sys_.solve(x, y, w, w)  # no ContractViolation raised
+
+
+class TestDisabledOverhead:
+    def test_disabled_guard_is_cheap(self):
+        """`if CONTRACTS.enabled:` must cost an attribute read, nothing more."""
+        checker = ContractChecker("off")
+
+        def guarded():
+            for _ in range(200_000):
+                if checker.enabled:
+                    checker.check_finite_scalar("s", "v", 1.0)
+
+        def bare():
+            for _ in range(200_000):
+                pass
+
+        t_guard = min(timeit.repeat(guarded, number=1, repeat=3))
+        t_bare = min(timeit.repeat(bare, number=1, repeat=3))
+        assert t_guard < max(10 * t_bare, 0.25)

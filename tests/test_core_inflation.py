@@ -116,3 +116,41 @@ class TestSizeScale:
     def test_identity_at_start(self):
         infl = MomentumInflation(3)
         assert infl.size_scale() == pytest.approx([1, 1, 1])
+
+
+class TestStateRoundTrip:
+    def test_state_dict_includes_last_n_deflated(self):
+        infl = MomentumInflation(3)
+        infl.update(np.array([2.0, 2.0, 0.1]))
+        infl.update(np.array([0.1, 2.5, 0.2]))  # cell 0 escaped -> deflates
+        assert infl.last_n_deflated > 0
+        state = infl.state_dict()
+        assert state["last_n_deflated"] == infl.last_n_deflated
+
+    def test_round_trip_restores_last_n_deflated(self):
+        infl = MomentumInflation(3)
+        infl.update(np.array([2.0, 2.0, 0.1]))
+        infl.update(np.array([0.1, 2.5, 0.2]))
+        state = infl.state_dict()
+        other = MomentumInflation(3)
+        other.load_state_dict(state)
+        assert other.last_n_deflated == infl.last_n_deflated
+        assert np.array_equal(other.rates, infl.rates)
+
+    def test_load_old_snapshot_defaults_to_zero(self):
+        """Snapshots written before the field existed resume as 0."""
+        infl = MomentumInflation(2)
+        infl.update(np.array([1.0, 1.0]))
+        state = infl.state_dict()
+        del state["last_n_deflated"]
+        other = MomentumInflation(2)
+        other.last_n_deflated = 99
+        other.load_state_dict(state)
+        assert other.last_n_deflated == 0
+
+    def test_reset_clears_last_n_deflated(self):
+        infl = MomentumInflation(3)
+        infl.update(np.array([2.0, 2.0, 0.1]))
+        infl.update(np.array([0.1, 2.5, 0.2]))
+        infl.reset()
+        assert infl.last_n_deflated == 0

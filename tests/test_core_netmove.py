@@ -138,3 +138,63 @@ class TestGradients:
         gx, gy, _ = two_pin_net_gradients(nl, grid, np.maximum(util - 1, 0), fld, 0.25)
         # hub belongs to both nets: gradient magnitude exceeds each leaf's
         assert abs(gy[0]) > abs(gy[1]) - 1e-12
+
+
+class TestSameCellNets:
+    """Regression: a two-pin net with both pins on one cell doubled forces.
+
+    Such a net has no segment to move perpendicular to; applying Eq. 9
+    to both endpoints deposited the projected gradient twice onto the
+    same cell.  These nets are now masked out of the update.
+    """
+
+    def _scene_with_self_net(self):
+        die = Rect(0, 0, 10, 10)
+        cells = [
+            CellSpec("a", 0.5, 0.5, x=2, y=5.0),
+            CellSpec("b", 0.5, 0.5, x=8, y=5.0),
+            CellSpec("s", 0.5, 0.5, x=5.1, y=5.1),
+        ]
+        nets = [
+            NetSpec("n", [PinSpec("a"), PinSpec("b")]),
+            # both pins on cell "s", slightly apart
+            NetSpec("self", [PinSpec("s", -0.1, 0.0), PinSpec("s", 0.1, 0.0)]),
+        ]
+        nl = Netlist.from_specs("selfnet", die, cells, nets)
+        grid = Grid2D(die, 20, 20)
+        util = np.zeros(grid.shape)
+        util[grid.index_of(5.1, 5.1)] = 3.0
+        cong = np.maximum(util - 1.0, 0.0)
+        return nl, grid, util, cong
+
+    def test_same_cell_net_gets_no_gradient(self):
+        nl, grid, util, cong = self._scene_with_self_net()
+        field = CongestionField(grid, util)
+        gx, gy, info = two_pin_net_gradients(nl, grid, cong, field, 0.25)
+        s = 2  # cell "s" sits in the congestion blob
+        assert gx[s] == 0.0 and gy[s] == 0.0
+        # the genuine net still receives its forces
+        assert gx[0] != 0.0 or gy[0] != 0.0
+
+    def test_active_mask_reflects_exclusion(self):
+        nl, grid, util, cong = self._scene_with_self_net()
+        field = CongestionField(grid, util)
+        _, _, info = two_pin_net_gradients(nl, grid, cong, field, 0.25)
+        # info["active"] is the effective mask: perp arrays align with it
+        assert info["active"].sum() == len(info["perp_x"])
+        same = nl.pin_cell[info["p1"]] == nl.pin_cell[info["p2"]]
+        assert not np.any(info["active"] & same)
+
+    def test_only_same_cell_nets_yields_zero_gradients(self):
+        die = Rect(0, 0, 10, 10)
+        cells = [CellSpec("s", 0.5, 0.5, x=5.1, y=5.1)]
+        nets = [NetSpec("self", [PinSpec("s", -0.1, 0.0), PinSpec("s", 0.1, 0.0)])]
+        nl = Netlist.from_specs("onlyself", die, cells, nets)
+        grid = Grid2D(die, 20, 20)
+        util = np.zeros(grid.shape)
+        util[grid.index_of(5.1, 5.1)] = 3.0
+        cong = np.maximum(util - 1.0, 0.0)
+        field = CongestionField(grid, util)
+        gx, gy, info = two_pin_net_gradients(nl, grid, cong, field, 0.25)
+        assert not gx.any() and not gy.any()
+        assert not info["active"].any()

@@ -141,3 +141,72 @@ class TestPGDensity:
         c1 = pg_density_charge(grid, rail_area, cong, PinAccessConfig(density_scale=1.0))
         c2 = pg_density_charge(grid, rail_area, cong, PinAccessConfig(density_scale=2.0))
         assert c2[1, 1] == pytest.approx(2 * c1[1, 1])
+
+
+class TestPGDensityNonFinite:
+    """Regression: one NaN bin used to silently disable DPA for a round.
+
+    ``congestion.mean()`` is NaN when any bin is NaN, NaN comparisons
+    are False everywhere, so ``eta`` came out all-False.  The mean is
+    now computed over the finite bins and non-finite bins are never
+    selected.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _contracts_off(self):
+        # pin mode so the finite-mean fix is what's under test even when
+        # the suite runs with REPRO_CHECK_INVARIANTS=raise; the contract
+        # test below opts back in explicitly
+        from repro.utils import contracts
+
+        contracts.configure(mode="off")
+
+    def _grid(self):
+        return Grid2D(Rect(0, 0, 4, 4), 8, 8)
+
+    def test_nan_bin_does_not_disable_dpa(self):
+        grid = self._grid()
+        rail_area = np.ones(grid.shape) * 0.1
+        cong = np.zeros(grid.shape)
+        cong[3, 3] = 1.0
+        cong[0, 0] = np.nan
+        charge = pg_density_charge(
+            grid, rail_area, cong, PinAccessConfig(density_scale=1.0)
+        )
+        assert charge[3, 3] == pytest.approx(2.0 * 0.1)  # still selected
+        assert np.isfinite(charge).all()
+        assert charge[0, 0] == 0.0  # the poisoned bin is never selected
+
+    def test_mean_over_finite_bins(self):
+        grid = self._grid()
+        rail_area = np.ones(grid.shape)
+        cong = np.full(grid.shape, 0.5)
+        cong[3, 3] = 2.0
+        cong[1, 1] = np.inf
+        charge = pg_density_charge(
+            grid, rail_area, cong, PinAccessConfig(density_scale=1.0)
+        )
+        # finite mean is just above 0.5, so only the 2.0 bin is selected
+        assert charge[3, 3] > 0.0
+        assert charge[2, 2] == 0.0
+        assert np.isfinite(charge).all()
+
+    def test_all_nan_selects_nothing(self):
+        grid = self._grid()
+        charge = pg_density_charge(
+            grid, np.ones(grid.shape), np.full(grid.shape, np.nan)
+        )
+        assert charge.sum() == 0.0
+
+    def test_contract_violation_reported(self):
+        from repro.utils import contracts
+
+        contracts.configure(mode="warn")
+        grid = self._grid()
+        cong = np.zeros(grid.shape)
+        cong[0, 0] = np.nan
+        pg_density_charge(grid, np.ones(grid.shape), cong)
+        assert any(
+            v["contract"] == "dpa.finite_congestion"
+            for v in contracts.CONTRACTS.violations
+        )

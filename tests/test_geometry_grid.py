@@ -90,3 +90,68 @@ class TestSampling:
         m = np.arange(256, dtype=float).reshape(16, 16)
         v = g.bilinear_at(m, x, y)
         assert m.min() - 1e-9 <= v <= m.max() + 1e-9
+
+
+class TestNonFiniteCoords:
+    """Regression: NaN/Inf coordinates used to map platform-dependently.
+
+    ``np.floor(nan).astype(int64)`` is INT64_MIN on x86 but 0 on ARM,
+    and ``np.clip`` passes NaN straight through the bilinear path.  The
+    sanitize step pins the behavior: NaN -> the low-edge bin, +/-Inf ->
+    the respective edge bins, on every platform.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _contracts_off(self):
+        # pin mode so the sanitize path is what's under test even when
+        # the suite runs with REPRO_CHECK_INVARIANTS=raise; the two
+        # contract tests below opt back in explicitly
+        from repro.utils import contracts
+
+        contracts.configure(mode="off")
+
+    def test_index_of_nan_maps_to_bin_zero(self, grid16):
+        assert grid16.index_of(np.nan, np.nan) == (0, 0)
+
+    def test_index_of_inf_saturates_to_edges(self, grid16):
+        i, j = grid16.index_of(np.inf, -np.inf)
+        assert (i, j) == (grid16.nx - 1, 0)
+
+    def test_index_of_array_mixed(self, grid16):
+        x = np.array([1.0, np.nan, np.inf])
+        y = np.array([-np.inf, 1.0, np.nan])
+        i, j = grid16.index_of(x, y)
+        assert i.tolist() == [2, 0, grid16.nx - 1]
+        assert j.tolist() == [0, 2, 0]
+
+    def test_index_of_finite_path_unchanged(self, grid16, rng):
+        x = rng.uniform(-1, 9, 64)
+        y = rng.uniform(-1, 9, 64)
+        i, j = grid16.index_of(x, y)
+        ii = np.clip(np.floor((x - 0.0) / grid16.dx).astype(np.int64), 0, 15)
+        jj = np.clip(np.floor((y - 0.0) / grid16.dy).astype(np.int64), 0, 15)
+        assert np.array_equal(i, ii) and np.array_equal(j, jj)
+
+    def test_bilinear_at_nan_is_finite_and_deterministic(self, grid16, rng):
+        m = rng.random(grid16.shape)
+        v = grid16.bilinear_at(m, np.nan, 1.0)
+        assert np.isfinite(v)
+        # NaN sanitizes to fractional coordinate 0 = the low-edge center
+        x0, _ = grid16.center_of(0, 0)
+        assert v == pytest.approx(float(grid16.bilinear_at(m, x0, 1.0)))
+
+    def test_contract_violation_reported_in_warn_mode(self, grid16):
+        from repro.utils import contracts
+
+        contracts.configure(mode="warn")
+        grid16.index_of(np.nan, 1.0)
+        assert contracts.CONTRACTS.n_violations == 1
+        assert contracts.CONTRACTS.violations[0]["site"] == "grid.index_of"
+
+    def test_contract_raises_in_raise_mode(self, grid16):
+        from repro.utils import contracts
+        from repro.utils.contracts import ContractViolation
+
+        contracts.configure(mode="raise")
+        with pytest.raises(ContractViolation, match="grid.finite_coords"):
+            grid16.bilinear_at(np.zeros(grid16.shape), np.inf, 0.0)

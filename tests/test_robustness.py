@@ -307,10 +307,12 @@ class TestFlowCheckpoint:
         )
 
     def test_resume_is_bit_identical(self, tmp_path):
+        from dataclasses import asdict
+
         path = str(tmp_path / "flow.npz")
 
         ref = toy_design(300, seed=3)
-        RoutabilityDrivenPlacer(ref, self._multi_round_cfg()).run()
+        ref_result = RoutabilityDrivenPlacer(ref, self._multi_round_cfg()).run()
 
         # routing passes: 1 = initial, 2 = end of round 0, 3 = end of
         # round 1 -> dying at pass 3 leaves only round 0's checkpoint
@@ -326,6 +328,12 @@ class TestFlowCheckpoint:
         assert result.resumed_from_round == 0
         assert np.array_equal(ref.x, nl2.x)
         assert np.array_equal(ref.y, nl2.y)
+        # per-round telemetry must also match the uninterrupted run:
+        # n_deflated in particular only survives resume because the
+        # inflation controller checkpoints last_n_deflated
+        assert len(result.rounds) == len(ref_result.rounds)
+        for got, want in zip(result.rounds, ref_result.rounds):
+            assert asdict(got) == asdict(want)
 
     def test_resume_rejects_other_design(self, tmp_path):
         path = str(tmp_path / "flow.npz")

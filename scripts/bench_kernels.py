@@ -1,0 +1,270 @@
+"""Benchmark the fast kernel backend against the reference, per family.
+
+The four kernel families of the backend layer (ISSUE: the hot gradient
+paths) are measured with the arguments the *real* flow passes:
+
+1. a placed ``toy_design`` scene is built once per size under a
+   **recording** reference backend that captures every argument tuple
+   the public call sites (``wa_wirelength_and_grad``,
+   ``CellRasterizer.charge_map``, ``virtual_cell_positions``, the
+   batched ``GlobalRouter``) hand to the kernel layer;
+2. a fresh ``reference`` and a fresh ``fastnp`` backend instance then
+   **replay** those exact calls — first through a correctness gate
+   (``np.array_equal``, repeated past the auto-tuner lock-in point so
+   both layout variants of every tuned kernel are checked and the
+   tuner reaches its steady-state choice), then under the timer.
+
+Protocol: every scene size runs in a **fresh subprocess** (allocator
+warm-up from one size cannot leak into another's baseline) and the two
+backends are timed in **paired interleaved rounds** with the median of
+per-round ratios reported — the same drift-cancelling discipline as
+``scripts/bench_spectral.py``.  The acceptance gate reads the
+per-family geomean across sizes: at least two of the four families
+must clear 1.2x.
+
+Writes ``results/BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+DEFAULT_SIZES = [2000, 8000, 20000]
+
+#: family name -> backend method replayed for that family
+FAMILIES = {
+    "wa": "wa_axes",
+    "raster": "raster_overlaps",
+    "netmove": "netmove_virtual",
+    "route": "route_best_bends",
+}
+
+
+def _recording_reference():
+    """Reference backend whose kernel calls record their argument tuples."""
+    from repro.kernels.reference import ReferenceBackend
+
+    rec = ReferenceBackend()
+    calls: dict = {name: [] for name in FAMILIES.values()}
+
+    for mname in FAMILIES.values():
+        orig = getattr(rec, mname)
+
+        def wrapper(*args, _orig=orig, _name=mname):
+            calls[_name].append(args)
+            return _orig(*args)
+
+        setattr(rec, mname, wrapper)
+    return rec, calls
+
+
+def _build_scene(n_cells: int, seed: int) -> dict:
+    """Run the public call sites once, capturing their kernel arguments."""
+    from repro.core.netmove import NetMoveConfig, virtual_cell_positions
+    from repro.density.rasterize import CellRasterizer
+    from repro.geometry.grid import Grid2D
+    from repro.kernels import base
+    from repro.place.config import auto_grid_dim
+    from repro.place.initial import initial_placement
+    from repro.route import GlobalRouter, RouterConfig
+    from repro.synth import toy_design
+    from repro.wirelength.wa import wa_wirelength_and_grad
+
+    rec, calls = _recording_reference()
+    base._active = rec  # route get_backend() through the recorder
+    try:
+        netlist = toy_design(n_cells, seed=seed)
+        initial_placement(netlist, seed)
+        dim = auto_grid_dim(netlist.n_cells)
+        grid = Grid2D(netlist.die, dim, dim)
+        routing = GlobalRouter(grid, RouterConfig()).route(netlist)
+        CellRasterizer(
+            grid, netlist.x, netlist.y, netlist.cell_width, netlist.cell_height
+        ).charge_map()
+        virtual_cell_positions(
+            netlist, grid, routing.congestion_map, NetMoveConfig()
+        )
+        wa_wirelength_and_grad(netlist, 0.5 * grid.dx)
+    finally:
+        base._active = None
+    return {"calls": calls, "grid_dim": dim, "n_nets": netlist.n_nets}
+
+
+def _same(a, b) -> bool:
+    """Bitwise equality across scalars / arrays / result tuples."""
+    if isinstance(a, tuple):
+        return len(a) == len(b) and all(_same(x, y) for x, y in zip(a, b))
+    return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+
+
+def bench_size(n_cells: int, seed: int, rounds: int) -> dict:
+    """Paired reference-vs-fastnp timings for one scene size."""
+    from repro.kernels import TUNE_SAMPLES
+    from repro.kernels.fastnp import FastNumpyBackend
+    from repro.kernels.reference import ReferenceBackend
+
+    scene = _build_scene(n_cells, seed)
+    calls = scene["calls"]
+    ref = ReferenceBackend()
+    fast = FastNumpyBackend()
+
+    # correctness gate doubling as tuner warm-up: enough repetitions to
+    # exercise both layout variants of every tuned kernel and lock the
+    # tuner into its steady-state choice before anything is timed
+    for _ in range(2 * TUNE_SAMPLES + 2):
+        for mname, arg_tuples in calls.items():
+            for args in arg_tuples:
+                got = getattr(fast, mname)(*args)
+                want = getattr(ref, mname)(*args)
+                assert _same(got, want), (
+                    f"fastnp {mname} diverged from reference at n={n_cells}"
+                )
+
+    families = {}
+    for family, mname in FAMILIES.items():
+        arg_tuples = calls[mname]
+        ref_fn = getattr(ref, mname)
+        fast_fn = getattr(fast, mname)
+
+        def replay(fn, _tuples=arg_tuples):
+            for args in _tuples:
+                fn(*args)
+
+        # calibrate repetitions so each timing sample is ~30 ms
+        t0 = time.perf_counter()
+        replay(ref_fn)
+        est = time.perf_counter() - t0
+        inner = int(np.clip(0.03 / max(est, 1e-9), 1, 1000))
+
+        ref_ms, fast_ms = [], []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            for _ in range(inner):
+                replay(ref_fn)
+            ref_ms.append((time.perf_counter() - t0) / inner * 1e3)
+            t0 = time.perf_counter()
+            for _ in range(inner):
+                replay(fast_fn)
+            fast_ms.append((time.perf_counter() - t0) / inner * 1e3)
+
+        ref_ms = np.asarray(ref_ms)
+        fast_ms = np.asarray(fast_ms)
+        families[family] = {
+            "n_calls": len(arg_tuples),
+            "inner": inner,
+            "reference_ms": float(np.median(ref_ms)),
+            "fastnp_ms": float(np.median(fast_ms)),
+            # per-round paired ratios -> median, robust to host drift
+            "speedup": float(np.median(ref_ms / fast_ms)),
+            "tuner": fast.tuning_report().get(mname),
+        }
+
+    return {
+        "n_cells": n_cells,
+        "grid_dim": scene["grid_dim"],
+        "n_nets": scene["n_nets"],
+        "rounds": rounds,
+        "families": families,
+    }
+
+
+def bench_size_subprocess(n_cells: int, seed: int, rounds: int) -> dict:
+    """Run :func:`bench_size` in a fresh interpreter; return its JSON."""
+    out = subprocess.run(
+        [sys.executable, os.path.abspath(__file__),
+         "--one-size", str(n_cells), "--seed", str(seed),
+         "--rounds", str(rounds)],
+        capture_output=True, text=True, check=True,
+        env={**os.environ, "PYTHONPATH": os.environ.get("PYTHONPATH", "src")},
+    )
+    return json.loads(out.stdout)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="*", default=DEFAULT_SIZES)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--rounds", type=int, default=11,
+                        help="paired timing rounds per family")
+    parser.add_argument("--out", default="results/BENCH_kernels.json")
+    parser.add_argument("--one-size", type=int, default=None,
+                        help=argparse.SUPPRESS)  # subprocess entry
+    args = parser.parse_args()
+
+    if args.one_size is not None:
+        print(json.dumps(bench_size(args.one_size, args.seed, args.rounds)))
+        return 0
+
+    per_size = []
+    for n_cells in args.sizes:
+        entry = bench_size_subprocess(n_cells, args.seed, args.rounds)
+        per_size.append(entry)
+        line = "  ".join(
+            f"{fam} {e['speedup']:.2f}x" for fam, e in entry["families"].items()
+        )
+        print(f"n={n_cells:6d} (grid {entry['grid_dim']})  {line}", flush=True)
+
+    geomeans = {}
+    for family in FAMILIES:
+        speedups = [e["families"][family]["speedup"] for e in per_size]
+        geomeans[family] = float(np.exp(np.mean(np.log(speedups))))
+    target = 1.2
+    above = sorted(f for f, g in geomeans.items() if g >= target)
+    print(
+        "family geomeans: "
+        + "  ".join(f"{f} {g:.2f}x" for f, g in geomeans.items())
+        + f"  ({len(above)}/{len(FAMILIES)} >= {target}x: {', '.join(above)})"
+    )
+
+    from repro import kernels
+
+    payload = {
+        "bench": "kernels",
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "protocol": (
+            "fresh subprocess per size; kernel arguments recorded from "
+            "the real call sites and replayed; correctness gate "
+            "(np.array_equal) doubling as tuner warm-up before any "
+            "timing; paired interleaved rounds; median of per-round "
+            "ratios; per-family geomean across sizes"
+        ),
+        "numba_available": kernels.numba_available(),
+        "per_size": per_size,
+        "family_geomean_speedup": geomeans,
+        "target_speedup": target,
+        "families_at_target": above,
+        "gate_met": len(above) >= 2,
+        "note": (
+            "fastnp is constrained to bit-identical output (the gate "
+            "asserts equality on the recorded real-flow calls), so "
+            "speedups come from evaluation structure alone: the colmax "
+            "segment sweep + scratch ufunc chain (wa), the broadcast "
+            "overlap tensor (raster), cached-scratch sampling with the "
+            "inline bin-index fast path (netmove) and the tuned "
+            "flat-vs-broadcast candidate evaluation (route).  Tuned "
+            "kernels fall back to the reference layout where it wins, "
+            "so small-size ratios floor near 1.0x rather than regress."
+        ),
+    }
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=1)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,11 @@ gradcheck  validate analytic gradients against central differences
 ``place`` and ``route`` accept ``--check-invariants {off,warn,raise}``
 to arm the numeric-contract layer (see :mod:`repro.utils.contracts`);
 the flag overrides the ``REPRO_CHECK_INVARIANTS`` environment default.
+
+``place``, ``route`` and ``bench`` accept ``--kernel-backend
+{auto,reference,fastnp,numba}`` to select the hot-path kernel backend
+(see :mod:`repro.kernels`); the flag overrides the
+``REPRO_KERNEL_BACKEND`` environment default (``auto``).
 """
 
 from __future__ import annotations
@@ -60,6 +65,20 @@ def _configure_contracts(args: argparse.Namespace, metrics) -> None:
     contracts.configure(
         mode=getattr(args, "check_invariants", None), metrics=metrics
     )
+
+
+def _configure_kernels(args: argparse.Namespace, metrics) -> None:
+    """Select the kernel backend from ``--kernel-backend``.
+
+    ``None`` (flag absent) keeps the ``REPRO_KERNEL_BACKEND``
+    environment default; the resolved choice is exported back into the
+    environment so worker subprocesses inherit it, and a
+    ``kernel.backend`` telemetry event records the decision when a
+    registry is attached.
+    """
+    from repro import kernels
+
+    kernels.configure(getattr(args, "kernel_backend", None), metrics=metrics)
 
 
 def _load_validated(path: str):
@@ -112,6 +131,7 @@ def _cmd_place(args: argparse.Namespace) -> int:
     resuming = args.checkpoint is not None and os.path.exists(args.checkpoint)
     metrics, finish_metrics = _open_metrics(args, "place", resumed=resuming)
     _configure_contracts(args, metrics)
+    _configure_kernels(args, metrics)
     if args.routability:
         placer = RoutabilityDrivenPlacer(
             netlist, RDConfig(gp=gp), profiler=profiler, metrics=metrics
@@ -164,6 +184,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
     profiler = StageProfiler()
     metrics, finish_metrics = _open_metrics(args, "route")
     _configure_contracts(args, metrics)
+    _configure_kernels(args, metrics)
     config = RouterConfig(engine=args.engine)
     result = GlobalRouter(
         grid, config, profiler=profiler, metrics=metrics
@@ -235,6 +256,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if unknown:
         raise SystemExit(f"error: unknown suite designs: {', '.join(unknown)}")
 
+    # resolve the backend before the sweep so workers inherit the
+    # exported REPRO_KERNEL_BACKEND selection
+    _configure_kernels(args, None)
     result = run_sweep(
         names,
         kind=kind,
@@ -314,6 +338,12 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="numeric-contract checking mode (default: the "
                         "REPRO_CHECK_INVARIANTS environment variable, or off)")
+    p.add_argument("--kernel-backend",
+                   choices=("auto", "reference", "fastnp", "numba"),
+                   default=None,
+                   help="hot-path kernel backend (default: the "
+                        "REPRO_KERNEL_BACKEND environment variable, or auto; "
+                        "numba falls back to reference when unavailable)")
     p.set_defaults(func=_cmd_place)
 
     p = sub.add_parser("route", help="route a placed design")
@@ -330,6 +360,11 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="numeric-contract checking mode (default: the "
                         "REPRO_CHECK_INVARIANTS environment variable, or off)")
+    p.add_argument("--kernel-backend",
+                   choices=("auto", "reference", "fastnp", "numba"),
+                   default=None,
+                   help="hot-path kernel backend (default: the "
+                        "REPRO_KERNEL_BACKEND environment variable, or auto)")
     p.set_defaults(func=_cmd_route)
 
     p = sub.add_parser("bench", help="run a Table I/II sweep (parallelizable)")
@@ -348,6 +383,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write the merged per-design telemetry stream "
                         "(one JSONL segment per design, input order)")
+    p.add_argument("--kernel-backend",
+                   choices=("auto", "reference", "fastnp", "numba"),
+                   default=None,
+                   help="hot-path kernel backend for the sweep workers "
+                        "(default: the REPRO_KERNEL_BACKEND environment "
+                        "variable, or auto)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(

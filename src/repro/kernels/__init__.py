@@ -1,0 +1,37 @@
+"""Pluggable kernel backends for the hot gradient paths.
+
+Importing this package registers the ``reference``, ``fastnp`` and
+``numba`` backends; call sites fetch the active one with
+:func:`get_backend` and the CLI selects it via :func:`configure`
+(``--kernel-backend`` / ``REPRO_KERNEL_BACKEND``, default ``auto``).
+See :mod:`repro.kernels.base` for the protocol and selection rules.
+"""
+
+from repro.kernels import fastnp, numba_backend, reference  # noqa: F401  (registration)
+from repro.kernels.base import (
+    ENV_VAR,
+    TUNE_SAMPLES,
+    KernelBackend,
+    KernelTuner,
+    available_backends,
+    configure,
+    get_backend,
+    numba_available,
+    register_backend,
+    requested_backend,
+    reset,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "TUNE_SAMPLES",
+    "KernelBackend",
+    "KernelTuner",
+    "available_backends",
+    "configure",
+    "get_backend",
+    "numba_available",
+    "register_backend",
+    "requested_backend",
+    "reset",
+]

@@ -1,0 +1,353 @@
+"""Backend protocol and registry for the hot numeric kernels.
+
+The four gradient paths the RD loop spends its time in — WA wirelength
+(:mod:`repro.wirelength.wa`), density rasterization
+(:mod:`repro.density.rasterize`), the Alg. 1/2 net-moving gradients
+(:mod:`repro.core.netmove` / :mod:`repro.core.multipin`) and the batched
+router's candidate evaluation (:mod:`repro.route.patterns`) — dispatch
+their inner array work through a process-wide :class:`KernelBackend`.
+
+Backends registered here:
+
+``reference``
+    The original numpy implementations, moved verbatim from the call
+    sites.  Bit-identical to the pre-refactor code by construction
+    (same ufuncs, same operation order) — the numeric ground truth
+    every other backend is tested against.
+
+``fastnp``
+    Restructured numpy: scratch-buffer reuse, fused in-place ufuncs,
+    ``bincount`` scatters instead of ``np.add.at``, flat-gather
+    indexing, and broadcast-batched overlap builds.  Every restructure
+    preserves the reference's floating-point operation sequence (the
+    SpectralWorkspace discipline), so outputs are bit-identical; two
+    kernels additionally carry interchangeable layout variants that the
+    backend auto-tunes at runtime (see :class:`KernelTuner`).
+
+``numba``
+    Optional JIT backend compiling the tightest loops with numba when
+    the package is importable; kernels it does not cover inherit the
+    ``fastnp`` implementations.  Requesting it without numba installed
+    logs one warning and falls back to ``reference``.
+
+Selection order for :func:`get_backend`: an explicit
+:func:`configure` call (the ``--kernel-backend`` CLI flag), then the
+``REPRO_KERNEL_BACKEND`` environment variable, then ``auto``.  ``auto``
+resolves to ``numba`` when importable and otherwise **silently** to
+``reference`` — the conservative default keeps the shipped flow
+bit-identical to the pre-backend code on hosts without numba; opt into
+the restructured-numpy fast path with ``fastnp``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.utils.logging import get_logger
+
+logger = get_logger("kernels")
+
+#: Environment variable naming the default backend (same values as the
+#: ``--kernel-backend`` CLI flag).
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Timed samples collected per kernel variant before the tuner locks in
+#: (mirrors ``repro.density.poisson._TUNE_SAMPLES``).
+TUNE_SAMPLES = 3
+
+
+class KernelTuner:
+    """Runtime chooser between interchangeable kernel variants.
+
+    Same contract as the SpectralWorkspace stage tuner: every variant
+    of a kernel must be *bit-identical*, so the choice (and the
+    alternation while tuning) only ever affects wall-clock, never
+    results.  The first :data:`TUNE_SAMPLES` calls per variant run
+    under a ``perf_counter`` timer (least-sampled variant first); once
+    every variant has its samples, the one with the best (minimum)
+    sample is locked in.  Min-of-samples is the robust statistic on a
+    noisy host — interference only ever inflates a sample.
+    """
+
+    def __init__(self, kernel: str, variants: dict) -> None:
+        self.kernel = kernel
+        self._methods = dict(variants)
+        self._samples: dict = {name: [] for name in variants}
+        self.choice: str | None = None
+
+    def __call__(self, *args):
+        """Run the locked variant, or time one while still tuning."""
+        if self.choice is not None:
+            return self._methods[self.choice](*args)
+        name = min(self._samples, key=lambda k: len(self._samples[k]))
+        t0 = time.perf_counter()
+        out = self._methods[name](*args)
+        self._samples[name].append(time.perf_counter() - t0)
+        if all(len(v) >= TUNE_SAMPLES for v in self._samples.values()):
+            self.choice = min(self._samples, key=lambda k: min(self._samples[k]))
+            logger.debug("kernel %s tuned to variant %s", self.kernel, self.choice)
+        return out
+
+    def report(self) -> dict:
+        """Tuning state: locked choice (or None) and samples per variant."""
+        return {
+            "choice": self.choice,
+            "samples": {k: len(v) for k, v in self._samples.items()},
+        }
+
+
+class KernelBackend:
+    """Abstract kernel set one backend implements.
+
+    Array arguments follow the conventions of the original call sites;
+    every method is a pure function of its inputs except
+    :meth:`scatter_add_pair`, which accumulates into its first two
+    arguments.  Subclasses must set :attr:`name`.
+    """
+
+    #: Registry key (``reference`` / ``fastnp`` / ``numba``).
+    name = "abstract"
+
+    # ------------------------------------------------------------ info
+    def describe(self) -> dict:
+        """Backend identity plus auto-tune state for telemetry/bench."""
+        return {"name": self.name, "autotune": self.tuning_report()}
+
+    def tuning_report(self) -> dict:
+        """Per-kernel tuner decisions (empty for untuned backends)."""
+        return {}
+
+    # ------------------------------------------------------------ WA
+    def wa_axes(
+        self,
+        px: np.ndarray,
+        py: np.ndarray,
+        order: np.ndarray,
+        starts: np.ndarray,
+        seg_of_ordered: np.ndarray,
+        degrees: np.ndarray,
+        gamma: float,
+        n_nets: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-net WA wirelength and per-pin gradients for both axes.
+
+        Returns ``(wl_x, gpin_x, wl_y, gpin_y)`` with gradients in
+        original pin order (see :mod:`repro.wirelength.wa` for the
+        math).  Nets with ``degrees < 2`` yield zero wirelength and
+        gradient.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------ rasterize
+    def raster_overlaps(
+        self,
+        ids: np.ndarray,
+        xlo: np.ndarray,
+        xhi: np.ndarray,
+        ylo: np.ndarray,
+        yhi: np.ndarray,
+        i0: np.ndarray,
+        j0: np.ndarray,
+        kx: int,
+        ky: int,
+        scale: np.ndarray,
+        base_x: float,
+        base_y: float,
+        dx: float,
+        dy: float,
+        nx: int,
+        ny: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flattened bin indices/weights of the vectorized raster set.
+
+        All per-cell arrays are already sliced to the small-cell subset
+        ``ids``.  Returns ``(bin_idx, weights, cell_of_entry)`` in the
+        canonical ``(di, dj, cell)`` entry order the reference
+        implementation established (the scatter/gather bincounts
+        consume entries in this order, so it is part of the numeric
+        contract).
+        """
+        raise NotImplementedError
+
+    # -------------------------------------------------------- netmove
+    def netmove_virtual(
+        self,
+        x1: np.ndarray,
+        y1: np.ndarray,
+        x2: np.ndarray,
+        y2: np.ndarray,
+        k: np.ndarray,
+        congestion: np.ndarray,
+        grid,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Virtual-cell positions of two-pin nets (Eq. 7-8 inner step).
+
+        Samples each segment at ``k[e]`` interior points, looks up the
+        congestion map and arg-maxes per net.  Returns
+        ``(xv, yv, best_congestion)``.
+        """
+        raise NotImplementedError
+
+    def scatter_add_pair(
+        self,
+        grad_x: np.ndarray,
+        grad_y: np.ndarray,
+        cells: np.ndarray,
+        vx: np.ndarray,
+        vy: np.ndarray,
+    ) -> None:
+        """Accumulate ``(vx, vy)`` onto ``grad_*[cells]`` (duplicates sum).
+
+        ``grad_x``/``grad_y`` are freshly zeroed accumulators; entry
+        order of ``cells`` defines the floating-point summation order.
+        """
+        raise NotImplementedError
+
+    def sample_nearest(
+        self, scalar_map: np.ndarray, grid, x: np.ndarray, y: np.ndarray
+    ) -> np.ndarray:
+        """Nearest-bin map lookup at continuous points (Alg. 2 line 10)."""
+        raise NotImplementedError
+
+    # ---------------------------------------------------------- route
+    def route_best_bends(
+        self,
+        hpre: np.ndarray,
+        vpre: np.ndarray,
+        cand: np.ndarray,
+        i1: np.ndarray,
+        j1: np.ndarray,
+        i2: np.ndarray,
+        j2: np.ndarray,
+        via_cost: float,
+        family: str,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Best bend per segment for one candidate family.
+
+        ``cand`` is the ``(n, z)`` bend-candidate matrix, ``hpre`` /
+        ``vpre`` the router's cost prefix sums.  ``family`` is
+        ``"hvh"`` (bend column) or ``"vhv"`` (bend row).  Returns
+        ``(cost, bend)`` arrays; ties keep the first (lowest) candidate
+        exactly like ``np.argmin``.
+        """
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# registry / selection
+# ----------------------------------------------------------------------
+
+#: name -> backend class, filled by :func:`register_backend`.
+_REGISTRY: dict = {}
+
+#: Explicitly requested backend name (CLI/configure); None = env/auto.
+_requested: str | None = None
+
+#: Cached resolved instance for the current request.
+_active: KernelBackend | None = None
+
+
+def register_backend(cls) -> type:
+    """Class decorator adding a backend to the registry under its name."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_backends() -> list:
+    """Registered backend names (static list; ``numba`` may be a stub)."""
+    return sorted(_REGISTRY) + ["auto"]
+
+
+def numba_available() -> bool:
+    """True when the optional numba JIT backend can actually compile."""
+    from repro.kernels.numba_backend import HAVE_NUMBA
+
+    return HAVE_NUMBA
+
+
+def _resolve(name: str) -> KernelBackend:
+    """Instantiate the backend for ``name``, applying fallback rules."""
+    if name == "auto":
+        if numba_available():
+            return _REGISTRY["numba"]()
+        # silent conservative fallback: auto without numba keeps the
+        # flow on the bit-identical reference implementations
+        return _REGISTRY["reference"]()
+    if name == "numba" and not numba_available():
+        logger.warning(
+            "kernel backend 'numba' requested but numba is not importable; "
+            "falling back to 'reference'"
+        )
+        return _REGISTRY["reference"]()
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; choose from "
+            f"{', '.join(available_backends())}"
+        ) from None
+    return cls()
+
+
+def requested_backend() -> str:
+    """The currently requested backend name (before fallback rules)."""
+    if _requested is not None:
+        return _requested
+    return os.environ.get(ENV_VAR, "auto") or "auto"
+
+
+def get_backend() -> KernelBackend:
+    """The process-wide active kernel backend (resolving lazily).
+
+    Resolution order: :func:`configure` argument, then the
+    :data:`ENV_VAR` environment variable, then ``auto``.  The resolved
+    instance is cached so kernel scratch buffers and tuner state
+    persist across calls; :func:`configure` (or :func:`reset`) drops
+    the cache.
+    """
+    global _active
+    if _active is None:
+        _active = _resolve(requested_backend())
+    return _active
+
+
+def configure(name: str | None = None, metrics=None) -> KernelBackend:
+    """Select the kernel backend process-wide and emit telemetry.
+
+    ``name=None`` keeps the environment/auto default (useful to attach
+    ``metrics`` without overriding a user's env var).  The chosen name
+    is exported back into :data:`ENV_VAR` so worker subprocesses
+    (parallel sweeps, bench subshells) inherit the selection.  When a
+    :class:`~repro.utils.metrics.MetricsRegistry` is passed and
+    enabled, one ``kernel.backend`` event records the requested and
+    resolved names plus numba availability.
+    """
+    global _requested, _active
+    if name is not None:
+        if name != "auto" and name not in _REGISTRY:
+            raise ValueError(
+                f"unknown kernel backend {name!r}; choose from "
+                f"{', '.join(available_backends())}"
+            )
+        _requested = name
+        os.environ[ENV_VAR] = name
+    _active = None
+    backend = get_backend()
+    if metrics is not None and getattr(metrics, "enabled", False):
+        metrics.emit(
+            "kernel.backend",
+            requested=requested_backend(),
+            resolved=backend.name,
+            numba_available=numba_available(),
+        )
+    return backend
+
+
+def reset() -> None:
+    """Drop the selection and cached instance (tests, long runs)."""
+    global _requested, _active
+    _requested = None
+    _active = None

@@ -1,0 +1,137 @@
+"""Optional numba-JIT kernel backend (graceful import-or-fallback).
+
+When numba is importable, :class:`NumbaBackend` compiles the two
+kernels where an explicit loop beats vectorised numpy on a warm cache —
+the per-net WA wirelength/gradient pass and the endpoint scatter — and
+inherits the restructured-numpy :class:`~repro.kernels.fastnp.
+FastNumpyBackend` implementations everywhere else.  Without numba the
+module still imports cleanly (``HAVE_NUMBA = False``, ``njit`` becomes
+an identity decorator) and the registry's resolution logic falls back
+to the reference backend, so the tier-1 suite stays dependency-free.
+
+Numeric contract: the JIT scatter accumulates in exactly the entry
+order of ``np.add.at`` (bit-identical); the JIT WA pass uses
+``math.exp`` (libm), which may differ from numpy's vectorised ``exp``
+by an ULP, so its equivalence tests run at rtol 1e-12 instead of
+bitwise (see ``tests/test_kernel_backends.py``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.kernels.base import register_backend
+from repro.kernels.fastnp import FastNumpyBackend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the tier-1 container path
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):
+        """Identity stand-in so the module imports without numba."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn):
+            """Return the function unchanged."""
+            return fn
+
+        return wrap
+
+
+@njit(cache=True)
+def _wa_axis_jit(c, starts, degrees, gamma, n_nets, m, wl_out, grad_out):  # pragma: no cover
+    """Per-net WA pass over net-sorted coordinates ``c`` (one axis).
+
+    Fills ``wl_out`` (per net) and ``grad_out`` (per ordered pin).
+    Accumulation runs in pin order, matching the reference bincounts;
+    only the libm ``exp`` may differ from numpy's by an ULP.
+    """
+    for e in range(n_nets):
+        s = starts[e]
+        t = starts[e + 1] if e + 1 < n_nets else m
+        if degrees[e] < 2:
+            wl_out[e] = 0.0
+            for p in range(s, t):
+                grad_out[p] = 0.0
+            continue
+        mx = c[s]
+        mn = c[s]
+        for p in range(s + 1, t):
+            v = c[p]
+            if v > mx:
+                mx = v
+            if v < mn:
+                mn = v
+        s_plus = 0.0
+        p_plus = 0.0
+        s_minus = 0.0
+        p_minus = 0.0
+        for p in range(s, t):
+            v = c[p]
+            a = math.exp((v - mx) / gamma)
+            b = math.exp(-(v - mn) / gamma)
+            s_plus += a
+            p_plus += v * a
+            s_minus += b
+            p_minus += v * b
+        wa_plus = p_plus / s_plus
+        wa_minus = p_minus / s_minus
+        wl_out[e] = wa_plus - wa_minus
+        for p in range(s, t):
+            v = c[p]
+            a = math.exp((v - mx) / gamma)
+            b = math.exp(-(v - mn) / gamma)
+            gp = a * (1.0 + (v - wa_plus) / gamma) / s_plus
+            gm = b * (1.0 - (v - wa_minus) / gamma) / s_minus
+            grad_out[p] = gp - gm
+
+
+@njit(cache=True)
+def _scatter_pair_jit(grad_x, grad_y, cells, vx, vy):  # pragma: no cover
+    """Entry-order dual scatter-add (the ``np.add.at`` summation order)."""
+    for e in range(len(cells)):
+        grad_x[cells[e]] += vx[e]
+        grad_y[cells[e]] += vy[e]
+
+
+@register_backend
+class NumbaBackend(FastNumpyBackend):
+    """JIT WA/scatter kernels; fastnp implementations elsewhere."""
+
+    name = "numba"
+
+    def wa_axes(self, px, py, order, starts, seg_of_ordered, degrees, gamma, n_nets):
+        """Two JIT per-net passes (x then y) plus the original scatter."""
+        m = len(order)
+        if m == 0:
+            return super().wa_axes(
+                px, py, order, starts, seg_of_ordered, degrees, gamma, n_nets
+            )
+        wl_x = np.empty(n_nets)
+        wl_y = np.empty(n_nets)
+        gox = np.empty(m)
+        goy = np.empty(m)
+        deg = np.ascontiguousarray(degrees, dtype=np.int64)
+        _wa_axis_jit(px[order], starts, deg, gamma, n_nets, m, wl_x, gox)
+        _wa_axis_jit(py[order], starts, deg, gamma, n_nets, m, wl_y, goy)
+        gpin_x = np.zeros(m)
+        gpin_y = np.zeros(m)
+        gpin_x[order] = gox
+        gpin_y[order] = goy
+        return wl_x, gpin_x, wl_y, gpin_y
+
+    def scatter_add_pair(self, grad_x, grad_y, cells, vx, vy):
+        """Bit-identical JIT loop replacement for ``np.add.at``."""
+        _scatter_pair_jit(
+            grad_x,
+            grad_y,
+            np.ascontiguousarray(cells, dtype=np.int64),
+            np.ascontiguousarray(vx, dtype=np.float64),
+            np.ascontiguousarray(vy, dtype=np.float64),
+        )

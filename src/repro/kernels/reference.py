@@ -1,0 +1,176 @@
+"""Reference kernel backend: the original numpy hot-path code, verbatim.
+
+Every method body here is the pre-refactor implementation moved out of
+its call site (``wirelength/wa.py``, ``density/rasterize.py``,
+``core/netmove.py`` / ``core/multipin.py``, ``route/patterns.py``) with
+only the surrounding state turned into explicit arguments.  Same
+ufuncs, same operation order, same dtypes — outputs are bit-identical
+to the pre-backend repository, which the golden suite and the e2e
+bit-determinism test pin down.  Fast backends are tested against this
+one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import KernelBackend, register_backend
+
+
+def _segment_sums(values: np.ndarray, seg_ids: np.ndarray, n_segments: int) -> np.ndarray:
+    """Sum ``values`` grouped by ``seg_ids`` (already net-sorted pins)."""
+    return np.bincount(seg_ids, weights=values, minlength=n_segments)
+
+
+def _axis_wa(
+    coords: np.ndarray,
+    order: np.ndarray,
+    starts: np.ndarray,
+    seg_of_ordered: np.ndarray,
+    degrees: np.ndarray,
+    gamma: float,
+    n_nets: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-net WA wirelength and per-pin gradient along one axis.
+
+    Returns ``(wl_per_net, grad_per_pin)`` where ``grad_per_pin`` is in
+    original pin order.
+    """
+    c = coords[order]
+    safe_starts = np.minimum(starts, max(len(order) - 1, 0))
+    if len(order):
+        mx = np.maximum.reduceat(c, safe_starts)
+        mn = np.minimum.reduceat(c, safe_starts)
+    else:
+        mx = np.zeros(n_nets)
+        mn = np.zeros(n_nets)
+
+    a = np.exp((c - mx[seg_of_ordered]) / gamma)
+    b = np.exp(-(c - mn[seg_of_ordered]) / gamma)
+
+    s_plus = _segment_sums(a, seg_of_ordered, n_nets)
+    p_plus = _segment_sums(c * a, seg_of_ordered, n_nets)
+    s_minus = _segment_sums(b, seg_of_ordered, n_nets)
+    p_minus = _segment_sums(c * b, seg_of_ordered, n_nets)
+
+    valid = degrees >= 2
+    s_plus_safe = np.where(s_plus > 0, s_plus, 1.0)
+    s_minus_safe = np.where(s_minus > 0, s_minus, 1.0)
+    wa_plus = p_plus / s_plus_safe
+    wa_minus = p_minus / s_minus_safe
+    wl = np.where(valid, wa_plus - wa_minus, 0.0)
+
+    grad_plus = a * (1.0 + (c - wa_plus[seg_of_ordered]) / gamma) / s_plus_safe[seg_of_ordered]
+    grad_minus = b * (1.0 - (c - wa_minus[seg_of_ordered]) / gamma) / s_minus_safe[seg_of_ordered]
+    grad_ordered = np.where(valid[seg_of_ordered], grad_plus - grad_minus, 0.0)
+
+    grad = np.zeros_like(grad_ordered)
+    grad[order] = grad_ordered
+    return wl, grad
+
+
+def _overlap_1d(lo, hi, base, pitch, k0, offset):
+    """Overlap length of [lo, hi] with bin (k0 + offset) along one axis."""
+    left = base + (k0 + offset) * pitch
+    return np.clip(np.minimum(hi, left + pitch) - np.maximum(lo, left), 0.0, pitch)
+
+
+def _h_run_cost(hpre, j, i0, i1):
+    """Prefix-sum cost of the horizontal run ``[min,max](i0,i1)`` at row j."""
+    lo = np.minimum(i0, i1)
+    hi = np.maximum(i0, i1)
+    return hpre[hi + 1, j] - hpre[lo, j]
+
+
+def _v_run_cost(vpre, i, j0, j1):
+    """Prefix-sum cost of the vertical run ``[min,max](j0,j1)`` at column i."""
+    lo = np.minimum(j0, j1)
+    hi = np.maximum(j0, j1)
+    return vpre[i, hi + 1] - vpre[i, lo]
+
+
+@register_backend
+class ReferenceBackend(KernelBackend):
+    """The numeric ground truth: original numpy implementations."""
+
+    name = "reference"
+
+    # ------------------------------------------------------------ WA
+    def wa_axes(self, px, py, order, starts, seg_of_ordered, degrees, gamma, n_nets):
+        """Both WA axes via two passes of the original ``_axis_wa``."""
+        wl_x, gpin_x = _axis_wa(px, order, starts, seg_of_ordered, degrees, gamma, n_nets)
+        wl_y, gpin_y = _axis_wa(py, order, starts, seg_of_ordered, degrees, gamma, n_nets)
+        return wl_x, gpin_x, wl_y, gpin_y
+
+    # ------------------------------------------------------ rasterize
+    def raster_overlaps(
+        self, ids, xlo, xhi, ylo, yhi, i0, j0, kx, ky, scale,
+        base_x, base_y, dx, dy, nx, ny,
+    ):
+        """Original chunked di/dj overlap loop of ``CellRasterizer``."""
+        idx_chunks = []
+        w_chunks = []
+        for di in range(kx):
+            lx = _overlap_1d(xlo, xhi, base_x, dx, i0, di)
+            col = np.clip(i0 + di, 0, nx - 1)
+            for dj in range(ky):
+                ly = _overlap_1d(ylo, yhi, base_y, dy, j0, dj)
+                row = np.clip(j0 + dj, 0, ny - 1)
+                idx_chunks.append(col * ny + row)
+                w_chunks.append(lx * ly * scale)
+        cell_of_entry = np.tile(ids, kx * ky)
+        return np.concatenate(idx_chunks), np.concatenate(w_chunks), cell_of_entry
+
+    # -------------------------------------------------------- netmove
+    def netmove_virtual(self, x1, y1, x2, y2, k, congestion, grid):
+        """Eq. (7)-(8) sampling matrix, congestion lookup, arg-max."""
+        n = len(x1)
+        s_max = int(k.max())
+        steps = np.arange(1, s_max + 1)[None, :]  # (1, S)
+        valid = steps <= k[:, None]
+        t = steps / (k[:, None] + 1.0)
+        sx = x1[:, None] + t * (x2 - x1)[:, None]
+        sy = y1[:, None] + t * (y2 - y1)[:, None]
+
+        ii, jj = grid.index_of(sx.ravel(), sy.ravel())
+        cval = congestion[ii, jj].reshape(n, s_max)
+        cval = np.where(valid, cval, -np.inf)
+        best = np.argmax(cval, axis=1)
+        rows = np.arange(n)
+        return sx[rows, best], sy[rows, best], cval[rows, best]
+
+    def scatter_add_pair(self, grad_x, grad_y, cells, vx, vy):
+        """Unbuffered fancy-index accumulation (``np.add.at``)."""
+        np.add.at(grad_x, cells, vx)
+        np.add.at(grad_y, cells, vy)
+
+    def sample_nearest(self, scalar_map, grid, x, y):
+        """Nearest-bin lookup through ``Grid2D.value_at``."""
+        return grid.value_at(scalar_map, x, y)
+
+    # ---------------------------------------------------------- route
+    def route_best_bends(self, hpre, vpre, cand, i1, j1, i2, j2, via_cost, family):
+        """Original broadcast candidate evaluation of ``PatternRouter``."""
+        if family == "hvh":
+            j1c, j2c = j1[:, None], j2[:, None]
+            c = (
+                _h_run_cost(hpre, j1c, i1[:, None], cand)
+                + _v_run_cost(vpre, cand, j1c, j2c)
+                + _h_run_cost(hpre, j2c, cand, i2[:, None])
+                + via_cost
+                * ((cand != i1[:, None]).astype(float) + (cand != i2[:, None]))
+            )
+        elif family == "vhv":
+            i1c, i2c = i1[:, None], i2[:, None]
+            c = (
+                _v_run_cost(vpre, i1c, j1[:, None], cand)
+                + _h_run_cost(hpre, cand, i1c, i2c)
+                + _v_run_cost(vpre, i2c, cand, j2[:, None])
+                + via_cost
+                * ((cand != j1[:, None]).astype(float) + (cand != j2[:, None]))
+            )
+        else:
+            raise ValueError(f"unknown candidate family {family!r}")
+        k = np.argmin(c, axis=1)
+        rows = np.arange(len(k))
+        return c[rows, k], cand[rows, k]

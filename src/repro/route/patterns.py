@@ -25,6 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels import get_backend
+
 # RoutedPathBatch.family codes
 FAMILY_EMPTY = 0  # degenerate segment, both endpoints in one G-cell
 FAMILY_H = 1  # single horizontal run
@@ -445,32 +447,23 @@ class PatternRouter:
         )
 
     def _best_hvh_batch(self, i1, j1, i2, j2):
-        """Vector form of :meth:`_best_hvh`: per-segment (cost, bend)."""
+        """Vector form of :meth:`_best_hvh`: per-segment (cost, bend).
+
+        The candidate-cost evaluation and arg-min run in the active
+        kernel backend (the candidate matrix itself is cheap integer
+        bookkeeping and stays here).
+        """
         ms = self._candidate_matrix(i1, i2, self.nx)
-        j1c, j2c = j1[:, None], j2[:, None]
-        c = (
-            self._h_run_cost(j1c, i1[:, None], ms)
-            + self._v_run_cost(ms, j1c, j2c)
-            + self._h_run_cost(j2c, ms, i2[:, None])
-            + self.via_cost * ((ms != i1[:, None]).astype(float) + (ms != i2[:, None]))
+        return get_backend().route_best_bends(
+            self._hpre, self._vpre, ms, i1, j1, i2, j2, self.via_cost, "hvh"
         )
-        k = np.argmin(c, axis=1)
-        rows = np.arange(len(k))
-        return c[rows, k], ms[rows, k]
 
     def _best_vhv_batch(self, i1, j1, i2, j2):
         """Vector form of :meth:`_best_vhv`: per-segment (cost, bend)."""
         rs = self._candidate_matrix(j1, j2, self.ny)
-        i1c, i2c = i1[:, None], i2[:, None]
-        c = (
-            self._v_run_cost(i1c, j1[:, None], rs)
-            + self._h_run_cost(rs, i1c, i2c)
-            + self._v_run_cost(i2c, rs, j2[:, None])
-            + self.via_cost * ((rs != j1[:, None]).astype(float) + (rs != j2[:, None]))
+        return get_backend().route_best_bends(
+            self._hpre, self._vpre, rs, i1, j1, i2, j2, self.via_cost, "vhv"
         )
-        k = np.argmin(c, axis=1)
-        rows = np.arange(len(k))
-        return c[rows, k], rs[rows, k]
 
     def _best_hvh(self, i1, j1, i2, j2) -> RoutedPath:
         """Horizontal - vertical - horizontal, bend column ``m``."""

@@ -85,6 +85,8 @@ EVENT_FIELDS: dict = {
     # one per numeric-contract violation (warn/raise modes; see
     # repro.utils.contracts)
     "contract.violation": ("site", "contract", "detail"),
+    # one per kernel-backend selection (see repro.kernels.configure)
+    "kernel.backend": ("requested", "resolved", "numba_available"),
     # one per global-routing pass
     "route.pass": (
         "n_segments",

@@ -16,6 +16,11 @@ cancels)::
     d WA+/d x_i = a_i (1 + (x_i - WA+)/gamma) / S,   a_i = e^{(x_i-mx)/gamma}
     d WA-/d x_i = b_i (1 - (x_i - WA-)/gamma) / T,   b_i = e^{-(x_i-mn)/gamma}
     d WA /d x_i = d WA+/d x_i - d WA-/d x_i
+
+The inner per-axis pass lives in the pluggable kernel layer
+(:mod:`repro.kernels`): this module prepares the net-sorted pin
+structure (cached per netlist — topology is immutable) and dispatches
+to the active backend's ``wa_axes`` kernel.
 """
 
 from __future__ import annotations
@@ -24,59 +29,27 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels import get_backend
 from repro.netlist.netlist import Netlist
 
 
-def _segment_sums(values: np.ndarray, seg_ids: np.ndarray, n_segments: int) -> np.ndarray:
-    """Sum ``values`` grouped by ``seg_ids`` (already net-sorted pins)."""
-    return np.bincount(seg_ids, weights=values, minlength=n_segments)
+def _wa_structure(netlist: Netlist):
+    """Net-sorted pin structure ``(order, starts, seg, degrees)``, cached.
 
-
-def _axis_wa(
-    coords: np.ndarray,
-    order: np.ndarray,
-    starts: np.ndarray,
-    seg_of_ordered: np.ndarray,
-    degrees: np.ndarray,
-    gamma: float,
-    n_nets: int,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Per-net WA wirelength and per-pin gradient along one axis.
-
-    Returns ``(wl_per_net, grad_per_pin)`` where ``grad_per_pin`` is in
-    original pin order.
+    All four arrays are pure functions of the immutable netlist
+    topology, so they are computed once and attached to the instance;
+    :meth:`Netlist.copy` creates a fresh object, which rebuilds the
+    cache.  Reusing the identical arrays cannot change any numerics.
     """
-    c = coords[order]
-    safe_starts = np.minimum(starts, max(len(order) - 1, 0))
-    if len(order):
-        mx = np.maximum.reduceat(c, safe_starts)
-        mn = np.minimum.reduceat(c, safe_starts)
-    else:
-        mx = np.zeros(n_nets)
-        mn = np.zeros(n_nets)
-
-    a = np.exp((c - mx[seg_of_ordered]) / gamma)
-    b = np.exp(-(c - mn[seg_of_ordered]) / gamma)
-
-    s_plus = _segment_sums(a, seg_of_ordered, n_nets)
-    p_plus = _segment_sums(c * a, seg_of_ordered, n_nets)
-    s_minus = _segment_sums(b, seg_of_ordered, n_nets)
-    p_minus = _segment_sums(c * b, seg_of_ordered, n_nets)
-
-    valid = degrees >= 2
-    s_plus_safe = np.where(s_plus > 0, s_plus, 1.0)
-    s_minus_safe = np.where(s_minus > 0, s_minus, 1.0)
-    wa_plus = p_plus / s_plus_safe
-    wa_minus = p_minus / s_minus_safe
-    wl = np.where(valid, wa_plus - wa_minus, 0.0)
-
-    grad_plus = a * (1.0 + (c - wa_plus[seg_of_ordered]) / gamma) / s_plus_safe[seg_of_ordered]
-    grad_minus = b * (1.0 - (c - wa_minus[seg_of_ordered]) / gamma) / s_minus_safe[seg_of_ordered]
-    grad_ordered = np.where(valid[seg_of_ordered], grad_plus - grad_minus, 0.0)
-
-    grad = np.zeros_like(grad_ordered)
-    grad[order] = grad_ordered
-    return wl, grad
+    cache = getattr(netlist, "_wa_structure_cache", None)
+    if cache is None:
+        order = netlist.net_pin_order
+        starts = netlist.net_pin_starts[:-1]
+        degrees = netlist.net_degrees()
+        seg_of_ordered = netlist.pin_net[order]
+        cache = (order, starts, seg_of_ordered, degrees)
+        netlist._wa_structure_cache = cache
+    return cache
 
 
 def wa_wirelength_and_grad(
@@ -93,13 +66,11 @@ def wa_wirelength_and_grad(
         raise ValueError("gamma must be positive")
     n_nets = netlist.n_nets
     px, py = netlist.pin_positions()
-    order = netlist.net_pin_order
-    starts = netlist.net_pin_starts[:-1]
-    degrees = netlist.net_degrees()
-    seg_of_ordered = netlist.pin_net[order]
+    order, starts, seg_of_ordered, degrees = _wa_structure(netlist)
 
-    wl_x, gpin_x = _axis_wa(px, order, starts, seg_of_ordered, degrees, gamma, n_nets)
-    wl_y, gpin_y = _axis_wa(py, order, starts, seg_of_ordered, degrees, gamma, n_nets)
+    wl_x, gpin_x, wl_y, gpin_y = get_backend().wa_axes(
+        px, py, order, starts, seg_of_ordered, degrees, gamma, n_nets
+    )
 
     if net_weights is not None:
         wl = float((net_weights * (wl_x + wl_y)).sum())

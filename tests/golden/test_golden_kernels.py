@@ -17,7 +17,11 @@ Covered kernels:
 * momentum inflation rates, Eq. (11)-(12), on a sequence that triggers
   deflation (:class:`~repro.core.inflation.MomentumInflation`);
 * PG-rail selection and the dynamic density adjustment, Eq. (13)-(15)
-  (:mod:`~repro.core.pgrails`, :mod:`~repro.core.pinaccess`).
+  (:mod:`~repro.core.pgrails`, :mod:`~repro.core.pinaccess`);
+* the WA wirelength objective and gradient, Sec. II-A
+  (:func:`~repro.wirelength.wa.wa_wirelength_and_grad`) — this one
+  also pins the pluggable kernel layer (:mod:`repro.kernels`): any
+  backend drift beyond 1e-9 fails here.
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ from repro.geometry import Grid2D
 from repro.place.initial import initial_placement
 from repro.route import GlobalRouter, RouterConfig
 from repro.synth import toy_design
+from repro.wirelength.wa import WAWirelength, wa_wirelength_and_grad
 
 from tests.golden import GOLDEN_ATOL, GoldenChecker
 
@@ -139,6 +144,35 @@ class TestMultiPin:
             "grad_x": grad_x,
             "grad_y": grad_y,
             "selected": selected.astype(np.int8),
+        })
+
+
+class TestWA:
+    def test_wa_wirelength_golden(self, scenario, golden):
+        """Freeze the WA value and gradient at two gamma regimes.
+
+        The loose gamma is the flow's starting value
+        (:class:`WAWirelength` with the scenario's bin pitch as base
+        unit); the tight gamma (quartered) pins the near-HPWL regime
+        where the shifted exponentials are most saturation-prone.  Net
+        weights exercise the weighted accumulation path.
+        """
+        nl = scenario["netlist"]
+        gamma = WAWirelength(base_unit=scenario["grid"].dx).gamma
+        wl, gx, gy = wa_wirelength_and_grad(nl, gamma)
+        assert wl > 0.0, "scenario has zero wirelength"
+        assert np.abs(gx).sum() > 0, "scenario produces a zero gradient"
+        wl_t, gx_t, gy_t = wa_wirelength_and_grad(nl, 0.25 * gamma)
+        weights = 1.0 + (np.arange(nl.n_nets) % 3) * 0.5
+        wl_w, gx_w, gy_w = wa_wirelength_and_grad(nl, gamma, weights)
+        golden.check("wa", {
+            "wl": np.array([wl, wl_t, wl_w]),
+            "grad_x": gx,
+            "grad_y": gy,
+            "grad_x_tight": gx_t,
+            "grad_y_tight": gy_t,
+            "grad_x_weighted": gx_w,
+            "grad_y_weighted": gy_w,
         })
 
 

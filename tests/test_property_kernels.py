@@ -1,0 +1,108 @@
+"""Hypothesis property: all registered backends agree on random scenes.
+
+The equivalence tests in ``test_kernel_backends.py`` pin one frozen
+scenario; this module lets hypothesis hunt for a scene where a fast
+backend diverges from ``reference``.  Scenes deliberately include the
+degenerate structure the stacked/broadcast restructures are most
+sensitive to:
+
+* **same-cell nets** — both pins on one cell, so per-net max == min and
+  the shifted exponentials all collapse to ``e^0``;
+* **fixed cells** — which must receive exactly zero gradient from every
+  backend;
+* **single-pin nets** — degree < 2 nets interleaved between real ones,
+  shifting the CSR segment boundaries (the regime where the reference's
+  ``reduceat`` start-clamp quirk is live);
+* **coincident / boundary-hugging cells** — zero-width overlap windows
+  in the rasterizer.
+
+The ``fastnp`` backend must match bit-for-bit; ``numba`` (when
+importable) within 1e-12.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.density.rasterize import CellRasterizer
+from repro.geometry import Grid2D, Rect
+from repro.netlist import CellSpec, Netlist, NetSpec, PinSpec
+from tests.test_kernel_backends import FAST_BACKENDS, _assert_match, use_backend
+from repro.wirelength.wa import wa_wirelength_and_grad
+
+
+def _scene(positions, fixed_mask):
+    """Random 8-cell scene with degenerate nets mixed into the CSR.
+
+    Cells land anywhere on (and slightly past) the die so the raster
+    clip paths fire; nets cover two-pin, same-cell two-pin, single-pin
+    and a hub net over every cell.
+    """
+    die = Rect(0.0, 0.0, 12.0, 12.0)
+    cells = []
+    n = len(positions) // 2
+    for k in range(n):
+        x = die.xlo + 13.0 * positions[2 * k] - 0.5
+        y = die.ylo + 13.0 * positions[2 * k + 1] - 0.5
+        cells.append(
+            CellSpec(
+                f"c{k}", 0.75, 0.5, x=x, y=y, fixed=bool(fixed_mask[k])
+            )
+        )
+    nets = [
+        NetSpec("pair01", [PinSpec("c0", 0.1, 0.0), PinSpec("c1", -0.1, 0.0)]),
+        # degenerate: both pins on the same cell (max == min per axis)
+        NetSpec("same2", [PinSpec("c2"), PinSpec("c2", 0.05, -0.05)]),
+        # degree-1 net between real ones shifts every later CSR start
+        NetSpec("lone3", [PinSpec("c3")]),
+        NetSpec("pair45", [PinSpec("c4"), PinSpec("c5", 0.0, 0.2)]),
+        NetSpec("hub", [PinSpec(f"c{k}") for k in range(n)]),
+        # trailing degree-1 net: starts[-1] near the pin-count boundary,
+        # the regime the reference reduceat clamp actually changes
+        NetSpec("tail", [PinSpec("c6")]),
+    ]
+    return Netlist.from_specs("prop", die, cells, nets), die
+
+
+coords16 = st.lists(
+    st.floats(0.0, 1.0, allow_nan=False, width=32), min_size=16, max_size=16
+)
+fixed8 = st.lists(st.booleans(), min_size=8, max_size=8)
+gammas = st.floats(0.05, 8.0, allow_nan=False)
+
+
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
+class TestBackendsAgree:
+    @given(positions=coords16, fixed_mask=fixed8, gamma=gammas)
+    @settings(max_examples=30, deadline=None)
+    def test_wa_wirelength_and_grad(self, backend, positions, fixed_mask, gamma):
+        netlist, _ = _scene(positions, fixed_mask)
+        with use_backend("reference"):
+            ref = wa_wirelength_and_grad(netlist, gamma)
+        with use_backend(backend):
+            wl, gx, gy = wa_wirelength_and_grad(netlist, gamma)
+        _assert_match(backend, wl, ref[0], "wa wl")
+        _assert_match(backend, gx, ref[1], "wa grad_x")
+        _assert_match(backend, gy, ref[2], "wa grad_y")
+        assert np.all(gx[netlist.cell_fixed] == 0.0)
+        assert np.all(gy[netlist.cell_fixed] == 0.0)
+
+    @given(positions=coords16, fixed_mask=fixed8)
+    @settings(max_examples=30, deadline=None)
+    def test_rasterized_density(self, backend, positions, fixed_mask):
+        netlist, die = _scene(positions, fixed_mask)
+        grid = Grid2D(die, 12, 12)
+        args = (grid, netlist.x, netlist.y, netlist.cell_width, netlist.cell_height)
+        with use_backend("reference"):
+            ref_raster = CellRasterizer(*args)
+            ref_charge = ref_raster.charge_map()
+            field = np.sin(ref_charge)
+            ref_gather = ref_raster.gather(field)
+        with use_backend(backend):
+            raster = CellRasterizer(*args)
+            _assert_match(backend, raster.charge_map(), ref_charge, "charge")
+            _assert_match(backend, raster.gather(field), ref_gather, "gather")

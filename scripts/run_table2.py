@@ -28,6 +28,18 @@ def main() -> int:
     parser.add_argument("--out", default="results/table2.json")
     parser.add_argument("--metrics-out", default=None,
                         help="write the merged telemetry stream (JSONL)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        help="per-design wall-clock deadline in seconds "
+                             "(supervisor-enforced, pooled runs)")
+    parser.add_argument("--heartbeat-timeout", type=float, default=None,
+                        help="reap a pooled design after this many seconds "
+                             "without a flow progress beat")
+    parser.add_argument("--job-retries", type=int, default=1,
+                        help="replacement attempts after an involuntary "
+                             "worker death")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="checkpoint each design's flows here; retries "
+                             "resume instead of recomputing")
     args = parser.parse_args()
 
     names = args.designs or list(TABLE2_DESIGNS)
@@ -38,11 +50,16 @@ def main() -> int:
         jobs=args.jobs,
         scale=args.scale,
         metrics_path=args.metrics_out,
+        job_timeout=args.job_timeout,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_retries=args.job_retries,
+        checkpoint_dir=args.checkpoint_dir,
     )
     for run in result.runs:
         status = "done" if run.ok else "FAILED"
+        retry = f" (attempts={run.attempts})" if run.attempts > 1 else ""
         print(f"[{time.strftime('%H:%M:%S')}] {run.design} {status} "
-              f"in {run.elapsed:.0f}s", flush=True)
+              f"in {run.elapsed:.0f}s{retry}", flush=True)
 
     os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
     with open(args.out, "w") as fh:

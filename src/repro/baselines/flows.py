@@ -92,8 +92,16 @@ def run_flow(
     rd_config: RDConfig,
     seed_gp: GPSeed | None = None,
     metrics=None,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
 ) -> FlowResult:
-    """Routability-driven flow with an arbitrary :class:`RDConfig`."""
+    """Routability-driven flow with an arbitrary :class:`RDConfig`.
+
+    ``checkpoint_path``/``resume`` pass straight through to
+    :meth:`RoutabilityDrivenPlacer.run` — a supervised retry resumes
+    the routability loop from its last atomic checkpoint instead of
+    recomputing finished rounds.
+    """
     seed_time = 0.0
     if seed_gp is not None:
         nl = seed_gp.netlist.copy()
@@ -105,7 +113,11 @@ def run_flow(
     placer = RoutabilityDrivenPlacer(
         nl, rd_config, profiler=profiler, metrics=metrics
     )
-    rd_result = placer.run(skip_initial_gp=seed_gp is not None)
+    rd_result = placer.run(
+        skip_initial_gp=seed_gp is not None,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+    )
     with profiler.timer("flow.legalize"):
         lstats = legalize(nl)
     # congestion-aware detailed placement: do not move cells into the
@@ -160,10 +172,13 @@ def run_xplace_route(
     base: RDConfig | None = None,
     seed_gp: GPSeed | None = None,
     metrics=None,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
 ) -> FlowResult:
     """The leading routability-driven baseline of Table I."""
     return run_flow(
-        "Xplace-Route", netlist, xplace_route_config(base), seed_gp, metrics
+        "Xplace-Route", netlist, xplace_route_config(base), seed_gp, metrics,
+        checkpoint_path=checkpoint_path, resume=resume,
     )
 
 
@@ -172,6 +187,11 @@ def run_ours(
     base: RDConfig | None = None,
     seed_gp: GPSeed | None = None,
     metrics=None,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
 ) -> FlowResult:
     """The paper's full framework (MCI + DC + DPA)."""
-    return run_flow("Ours", netlist, base or RDConfig(), seed_gp, metrics)
+    return run_flow(
+        "Ours", netlist, base or RDConfig(), seed_gp, metrics,
+        checkpoint_path=checkpoint_path, resume=resume,
+    )

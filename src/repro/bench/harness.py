@@ -71,6 +71,19 @@ def _default_rd(gp: GPConfig) -> RDConfig:
     return RDConfig(gp=gp)
 
 
+def flow_checkpoint_path(checkpoint_dir: str | None, label: str) -> str | None:
+    """Per-flow checkpoint file inside a design's checkpoint directory.
+
+    ``None`` in, ``None`` out — callers thread an optional directory
+    without branching.  The label (placer or ablation-row name) becomes
+    the filename, so every flow of a design has its own resume point.
+    """
+    if not checkpoint_dir:
+        return None
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    return os.path.join(checkpoint_dir, f"{label}.npz")
+
+
 def run_design(
     netlist: Netlist,
     placers: tuple = PLACERS,
@@ -78,6 +91,8 @@ def run_design(
     rd_config: RDConfig | None = None,
     eval_config: EvalConfig | None = None,
     metrics=None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> DesignOutcome:
     """Run the requested placers on one design and evaluate each.
 
@@ -85,6 +100,11 @@ def run_design(
     receives the telemetry of every flow run here; one registry can
     span a whole suite so the resulting stream/report covers the full
     bench session.
+
+    With ``checkpoint_dir`` set, each routability-driven flow writes
+    its loop state there (one ``<placer>.npz`` per flow) and — with
+    ``resume`` — continues from it, which is how supervised sweep
+    retries warm-start instead of recomputing finished rounds.
     """
     gp = gp_config or _default_gp()
     rd = rd_config or _default_rd(gp)
@@ -95,12 +115,19 @@ def run_design(
     outcome = DesignOutcome(design=netlist.name)
     for placer in placers:
         logger.info("running %s on %s", placer, netlist.name)
+        ckpt = flow_checkpoint_path(checkpoint_dir, placer)
         if placer == "Xplace":
             flow = run_xplace(netlist, gp, seed_gp)
         elif placer == "Xplace-Route":
-            flow = run_xplace_route(netlist, rd, seed_gp, metrics=metrics)
+            flow = run_xplace_route(
+                netlist, rd, seed_gp, metrics=metrics,
+                checkpoint_path=ckpt, resume=resume,
+            )
         elif placer == "Ours":
-            flow = run_ours(netlist, rd, seed_gp, metrics=metrics)
+            flow = run_ours(
+                netlist, rd, seed_gp, metrics=metrics,
+                checkpoint_path=ckpt, resume=resume,
+            )
         else:
             raise ValueError(f"unknown placer {placer!r}")
         outcome.flows[placer] = flow
@@ -208,11 +235,14 @@ def run_ablation_on_design(
     netlist: Netlist,
     gp_config: GPConfig | None = None,
     eval_config: EvalConfig | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> list:
     """Run the four Table II configurations on one design.
 
     Returns :class:`MetricRow` entries whose ``placer`` field names the
-    ablation configuration.
+    ablation configuration.  ``checkpoint_dir``/``resume`` behave as in
+    :func:`run_design` (one checkpoint file per ablation row).
     """
     gp = gp_config or _default_gp()
     base = _default_rd(gp)
@@ -223,7 +253,11 @@ def run_ablation_on_design(
     rows = []
     for label, flags in ABLATION_ROWS:
         cfg = ablation_config(base=base, **flags)
-        flow = run_flow(label, netlist, cfg, seed_gp)
+        flow = run_flow(
+            label, netlist, cfg, seed_gp,
+            checkpoint_path=flow_checkpoint_path(checkpoint_dir, label),
+            resume=resume,
+        )
         ev = evaluate_routing(flow.netlist, ev_cfg, grid)
         rows.append(
             MetricRow(

@@ -24,16 +24,30 @@ of receiving a pickled netlist, so task payloads stay tiny.  With
 ``jobs <= 1`` everything runs in-process (no pool, no pickling), which
 is also the deterministic fallback when a pool breaks.
 
+Supervision: the pooled path runs on the :mod:`repro.jobs` runtime —
+one supervised process per design with wall-clock deadlines
+(``job_timeout``), hung-worker detection (``heartbeat_timeout``
+against the flow's progress beats) and retry-with-backoff for
+involuntary deaths (``max_retries``); with a ``checkpoint_dir``,
+retried designs warm-start their routability loop from the last
+atomic checkpoint instead of recomputing.  Supervisor lifecycle
+telemetry (``job.*`` events) lands in a *separate* stream
+(:attr:`SweepResult.supervisor_events`), never inside the per-design
+worker segments, so the merged design stream of an unfaulted sweep is
+bit-identical whether or not it was supervised.
+
 Fault-injection hook: each worker fires the ``bench.design.<name>``
 fault site before running its design, and installs any
 :class:`~repro.utils.faults.FaultPlan` objects carried by the task for
-the duration of that design.  Tests use this to crash one specific
+the duration of that design (plans with ``attempts=N`` stop firing on
+retries).  Tests use this to crash, hang, SIGKILL or tear one specific
 design of a pooled sweep and assert the isolation contract.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -71,11 +85,20 @@ class SweepTask:
     rd_config: object = None
     eval_config: object = None
     fault_plans: tuple = ()
+    #: Per-design checkpoint directory (one file per flow); retried
+    #: attempts resume from it.  ``None`` disables checkpointing.
+    checkpoint_dir: str | None = None
 
 
 @dataclass
 class DesignRun:
-    """Outcome of one design: rows + telemetry segment, or an error."""
+    """Outcome of one design: rows + telemetry segment, or an error.
+
+    ``attempts``/``job_state`` describe the supervised execution
+    (how many worker attempts the design consumed and the terminal
+    job state); ``job_state`` stays ``None`` for unsupervised
+    (in-process) runs.
+    """
 
     design: str
     index: int
@@ -83,6 +106,8 @@ class DesignRun:
     events: list = field(default_factory=list)
     error: str | None = None
     elapsed: float = 0.0
+    attempts: int = 1
+    job_state: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -92,11 +117,18 @@ class DesignRun:
 
 @dataclass
 class SweepResult:
-    """All design runs of one sweep, in input order."""
+    """All design runs of one sweep, in input order.
+
+    ``supervisor_events`` is the supervisor's own ``job.*`` lifecycle
+    stream (submit/start/end/timeout/hung/crashed/retry/degrade) —
+    kept separate from the per-design worker segments so the merged
+    design stream stays bit-identical to an unsupervised run.
+    """
 
     runs: list = field(default_factory=list)
     jobs: int = 1
     elapsed: float = 0.0
+    supervisor_events: list = field(default_factory=list)
 
     def rows(self) -> list:
         """Metric-row dicts of the successful designs, input-ordered."""
@@ -154,34 +186,51 @@ def _metric_rows_as_dicts(rows: list) -> list:
     ]
 
 
-def run_sweep_task(task: SweepTask) -> DesignRun:
-    """Execute one design end to end; never raises.
+def run_sweep_task(task: SweepTask, ctx=None) -> DesignRun:
+    """Execute one design end to end; never raises (except cancellation).
 
-    Runs in a pool worker (or in-process for ``jobs <= 1``).  Telemetry
-    goes to a private in-memory registry whose parsed events ride back
-    on the :class:`DesignRun`; any exception — including injected
-    faults — is captured as a traceback string.
+    Runs in a supervised worker (or in-process for ``jobs <= 1``).
+    Telemetry goes to a private in-memory registry whose parsed events
+    ride back on the :class:`DesignRun`; any exception — including
+    injected faults — is captured as a traceback string.
+
+    ``ctx`` is the supervised runtime's
+    :class:`~repro.jobs.spec.JobContext`: on a retry attempt the task's
+    fault plans are re-filtered (``attempts``-limited plans stop
+    firing), the flows resume from their checkpoints, and the design's
+    ``run.start`` event carries an ``attempt`` field — first attempts
+    emit the exact pre-supervision stream, bit for bit.
+    :class:`~repro.jobs.spec.JobCancelled` is re-raised so the worker
+    reports ``cancelled`` instead of masking it as a design failure.
     """
+    from repro.jobs.spec import JobCancelled
     from repro.utils import faults
     from repro.utils.metrics import MemorySink, MetricsRegistry
 
+    attempt = ctx.attempt if ctx is not None else 0
     t0 = time.perf_counter()
     sink = MemorySink()
     metrics = MetricsRegistry(sink=sink)
-    metrics.start_run(
+    start_fields = dict(
         command="bench", sweep=task.kind, design=task.name, shard=task.index
     )
+    if attempt > 0:
+        start_fields["attempt"] = attempt
+    metrics.start_run(**start_fields)
     error = None
     rows: list = []
     injector = None
     try:
-        if task.fault_plans:
+        plans = faults.plans_for_attempt(task.fault_plans, attempt)
+        if plans:
             injector = faults.FaultInjector()
-            for plan in task.fault_plans:
+            for plan in plans:
                 injector.add(plan)
             faults.install(injector)
         faults.fire(f"bench.design.{task.name}")
-        rows = _run_design_task(task, metrics)
+        rows = _run_design_task(task, metrics, resume=attempt > 0)
+    except JobCancelled:
+        raise  # the finally below uninstalls; the worker reports it
     except BaseException:
         error = traceback.format_exc()
     finally:
@@ -199,7 +248,7 @@ def run_sweep_task(task: SweepTask) -> DesignRun:
     )
 
 
-def _run_design_task(task: SweepTask, metrics) -> list:
+def _run_design_task(task: SweepTask, metrics, resume: bool = False) -> list:
     """Generate the design and run the requested sweep kind on it."""
     from repro.bench.harness import (
         PLACERS,
@@ -218,6 +267,8 @@ def _run_design_task(task: SweepTask, metrics) -> list:
             rd_config=task.rd_config,
             eval_config=task.eval_config,
             metrics=metrics,
+            checkpoint_dir=task.checkpoint_dir,
+            resume=resume,
         )
         return _metric_rows_as_dicts(table_rows([outcome]))
     if task.kind == "table2":
@@ -226,6 +277,8 @@ def _run_design_task(task: SweepTask, metrics) -> list:
                 netlist,
                 gp_config=task.gp_config,
                 eval_config=task.eval_config,
+                checkpoint_dir=task.checkpoint_dir,
+                resume=resume,
             )
         )
     raise ValueError(f"unknown sweep kind {task.kind!r}")
@@ -246,6 +299,10 @@ def run_sweep(
     eval_config=None,
     fault_plans: tuple = (),
     metrics_path: str | None = None,
+    job_timeout: float | None = None,
+    heartbeat_timeout: float | None = None,
+    max_retries: int = 1,
+    checkpoint_dir: str | None = None,
 ) -> SweepResult:
     """Run a sweep over ``names``, fanning designs across ``jobs`` workers.
 
@@ -267,12 +324,29 @@ def run_sweep(
     metrics_path:
         When set, the merged per-design telemetry stream is written
         there as JSONL after the sweep.
+    job_timeout:
+        Per-design wall-clock deadline in seconds, enforced by the
+        supervisor (pooled runs only); ``None`` = no limit.
+    heartbeat_timeout:
+        Maximum silence (seconds without a flow progress beat) before
+        a pooled design counts as hung and is reaped; ``None``
+        disables hung detection.
+    max_retries:
+        Replacement attempts after an involuntary worker death
+        (crash / hang / timeout).  Design *exceptions* are terminal —
+        they are deterministic outcomes, not flakes.
+    checkpoint_dir:
+        When set, each design checkpoints its flows under
+        ``<checkpoint_dir>/<index>_<name>/`` and supervised retries
+        resume from there instead of recomputing.
 
     Returns
     -------
     SweepResult
         Per-design runs in input order; failed designs carry their
-        traceback in :attr:`DesignRun.error` instead of raising.
+        traceback in :attr:`DesignRun.error` instead of raising, and
+        designs whose *worker* died carry the supervisor's structured
+        reason plus the terminal :attr:`DesignRun.job_state`.
     """
     if kind not in ("table1", "table2"):
         raise ValueError(f"unknown sweep kind {kind!r}")
@@ -288,16 +362,31 @@ def run_sweep(
             rd_config=rd_config,
             eval_config=eval_config,
             fault_plans=tuple(fault_plans),
+            checkpoint_dir=(
+                os.path.join(checkpoint_dir, f"{i:02d}_{name}")
+                if checkpoint_dir
+                else None
+            ),
         )
         for i, name in enumerate(names)
     ]
     t0 = time.perf_counter()
+    supervisor_events: list = []
     if jobs <= 1 or len(tasks) <= 1:
         runs = [run_sweep_task(task) for task in tasks]
     else:
-        runs = _run_pooled(tasks, jobs)
+        runs, supervisor_events = _run_supervised(
+            tasks,
+            jobs,
+            job_timeout=job_timeout,
+            heartbeat_timeout=heartbeat_timeout,
+            max_retries=max_retries,
+        )
     result = SweepResult(
-        runs=runs, jobs=max(1, jobs), elapsed=time.perf_counter() - t0
+        runs=runs,
+        jobs=max(1, jobs),
+        elapsed=time.perf_counter() - t0,
+        supervisor_events=supervisor_events,
     )
     for run in result.runs:
         status = "ok" if run.ok else "FAILED"
@@ -307,47 +396,80 @@ def run_sweep(
     return result
 
 
-def _run_pooled(tasks: list, jobs: int) -> list:
-    """Dispatch tasks to a process pool; degrade per design, not per sweep.
+def _run_supervised(
+    tasks: list,
+    jobs: int,
+    job_timeout: float | None = None,
+    heartbeat_timeout: float | None = None,
+    max_retries: int = 1,
+) -> tuple:
+    """Dispatch tasks to the supervised job runtime; returns
+    ``(runs, supervisor_events)``.
 
-    A worker exception is already captured inside :func:`run_sweep_task`;
-    this layer handles the harder failure — a worker *process* dying
-    (``BrokenProcessPool``) — by recording an error entry for the
-    design whose future broke first and re-running the not-yet-finished
-    remainder in a fresh pool (never in the parent process: whatever
-    killed the worker must stay isolated).  Each retry consumes at
-    least the broken design, so the recursion terminates.
+    One :class:`~repro.jobs.spec.JobSpec` per design, executed by
+    :func:`repro.jobs.run_jobs` — which owns deadlines, hung-worker
+    reaping, retry-with-backoff (warm-starting from the task's
+    checkpoint directory when it has one) and the degradation ladder
+    (replacement worker -> fresh supervisor -> in-process).  A design
+    exception is already captured *inside* :func:`run_sweep_task`; a
+    job that ends in any other state than ``done`` gets a synthesized
+    error entry carrying the supervisor's structured reason, so the
+    sweep always reports every design in input order.
     """
-    from concurrent.futures import ProcessPoolExecutor
-    from concurrent.futures.process import BrokenProcessPool
+    from repro.jobs import DONE, JobSpec, SupervisorConfig, run_jobs
+    from repro.utils.metrics import MemorySink, MetricsRegistry
 
-    runs: dict = {}
-    broken_task = None
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [(task, pool.submit(run_sweep_task, task)) for task in tasks]
-        for task, future in futures:
-            try:
-                runs[task.index] = future.result()
-            except BrokenProcessPool:
-                broken_task = task
-                break
-            except Exception:  # pragma: no cover — defensive
-                runs[task.index] = DesignRun(
+    sink = MemorySink()
+    sup_metrics = MetricsRegistry(sink=sink)
+    sup_metrics.start_run(command="bench.supervise", jobs=jobs)
+    specs = [
+        JobSpec(
+            job_id=f"{task.name}@{task.index}",
+            fn=run_sweep_task,
+            args=(task,),
+            with_context=True,
+            checkpoint_path=task.checkpoint_dir,
+            index=task.index,
+        )
+        for task in tasks
+    ]
+    config = SupervisorConfig(
+        max_workers=jobs,
+        timeout=job_timeout,
+        heartbeat_timeout=heartbeat_timeout,
+        max_retries=max_retries,
+    )
+    job_results = run_jobs(specs, config=config, metrics=sup_metrics)
+    sup_metrics.close()
+
+    runs: list = []
+    for task, job in zip(tasks, job_results):
+        if job is None:  # pragma: no cover — defensive (skipped job)
+            runs.append(
+                DesignRun(
                     design=task.name,
                     index=task.index,
-                    error=traceback.format_exc(),
+                    error="job produced no result",
+                    job_state="lost",
                 )
-    if broken_task is not None:
-        logger.warning(
-            "worker process died on %s; error entry recorded, "
-            "restarting pool for the remaining designs", broken_task.name,
-        )
-        runs[broken_task.index] = DesignRun(
-            design=broken_task.name,
-            index=broken_task.index,
-            error="worker process died (BrokenProcessPool)",
-        )
-        remaining = [t for t in tasks if t.index not in runs]
-        for run in _run_pooled(remaining, jobs) if remaining else []:
-            runs[run.index] = run
-    return [runs[task.index] for task in tasks]
+            )
+            continue
+        if job.state == DONE and job.value is not None:
+            run = job.value
+            run.attempts = job.attempts
+            run.job_state = job.state
+        else:
+            logger.warning(
+                "design %s ended %s after %d attempt(s): %s",
+                task.name, job.state, job.attempts, job.error,
+            )
+            run = DesignRun(
+                design=task.name,
+                index=task.index,
+                error=job.error or f"job ended in state {job.state!r}",
+                elapsed=job.elapsed,
+                attempts=job.attempts,
+                job_state=job.state,
+            )
+        runs.append(run)
+    return runs, [json.loads(line) for line in sink.lines]

@@ -27,7 +27,12 @@ import os
 import sys
 
 
-def _open_metrics(args: argparse.Namespace, command: str, resumed: bool = False):
+def _open_metrics(
+    args: argparse.Namespace,
+    command: str,
+    resumed: bool = False,
+    profiler=None,
+):
     """Build the registry for ``--metrics-out`` (or the disabled NULL).
 
     Returns ``(metrics, finish)`` where ``finish()`` closes the stream
@@ -35,8 +40,19 @@ def _open_metrics(args: argparse.Namespace, command: str, resumed: bool = False)
     (``None`` when telemetry is disabled).  A resumed flow appends to
     the existing stream; the new segment starts with its own
     ``run.start`` event carrying ``resumed: true``.
+
+    The registry is armed with an abort flush: a SIGTERM'd or crashed
+    run emits a terminal ``run.aborted`` event (naming the profiler's
+    open stages when one is attached) and flushes the buffered sink,
+    so the on-disk JSONL stays valid — truncated, not torn.
     """
-    from repro.utils.metrics import NULL, JsonlSink, MetricsRegistry, MetricsReport
+    from repro.utils.metrics import (
+        NULL,
+        JsonlSink,
+        MetricsRegistry,
+        MetricsReport,
+        install_abort_flush,
+    )
 
     path = getattr(args, "metrics_out", None)
     if not path:
@@ -45,9 +61,11 @@ def _open_metrics(args: argparse.Namespace, command: str, resumed: bool = False)
     append = resumed and os.path.exists(path)
     metrics = MetricsRegistry(sink=JsonlSink(path, append=append))
     metrics.start_run(command=command, design=args.input, resumed=append)
+    abort = install_abort_flush(metrics, profiler=profiler)
 
     def finish():
         metrics.close()
+        abort.uninstall()
         return MetricsReport.from_jsonl(path).render(f"metrics report ({path})")
 
     return metrics, finish
@@ -129,7 +147,9 @@ def _cmd_place(args: argparse.Namespace) -> int:
     gp = GPConfig(max_iters=args.iters)
     profiler = StageProfiler()
     resuming = args.checkpoint is not None and os.path.exists(args.checkpoint)
-    metrics, finish_metrics = _open_metrics(args, "place", resumed=resuming)
+    metrics, finish_metrics = _open_metrics(
+        args, "place", resumed=resuming, profiler=profiler
+    )
     _configure_contracts(args, metrics)
     _configure_kernels(args, metrics)
     if args.routability:
@@ -182,7 +202,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
     dim = args.grid or auto_grid_dim(netlist.n_cells)
     grid = Grid2D(netlist.die, dim, dim)
     profiler = StageProfiler()
-    metrics, finish_metrics = _open_metrics(args, "route")
+    metrics, finish_metrics = _open_metrics(args, "route", profiler=profiler)
     _configure_contracts(args, metrics)
     _configure_kernels(args, metrics)
     config = RouterConfig(engine=args.engine)
@@ -266,6 +286,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         metrics_path=args.metrics_out,
+        job_timeout=args.job_timeout,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_retries=args.job_retries,
+        checkpoint_dir=args.checkpoint_dir,
     )
     rows = [
         MetricRow(design=r["design"], placer=r["placer"], metrics=r["metrics"])
@@ -293,6 +317,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "elapsed_s": result.elapsed,
             "rows": result.rows(),
             "errors": result.error_payload(),
+            "supervisor": {
+                "events": result.supervisor_events,
+                "designs": [
+                    {
+                        "design": r.design,
+                        "attempts": r.attempts,
+                        "job_state": r.job_state,
+                    }
+                    for r in result.runs
+                ],
+            },
         }
         parent = os.path.dirname(args.out)
         if parent:
@@ -389,6 +424,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="hot-path kernel backend for the sweep workers "
                         "(default: the REPRO_KERNEL_BACKEND environment "
                         "variable, or auto)")
+    p.add_argument("--job-timeout", type=float, default=None, metavar="S",
+                   help="per-design wall-clock deadline in seconds, "
+                        "supervisor-enforced (pooled runs; default: none)")
+    p.add_argument("--heartbeat-timeout", type=float, default=None,
+                   metavar="S",
+                   help="reap a pooled design after S seconds without a "
+                        "flow progress beat (hung worker; default: off)")
+    p.add_argument("--job-retries", type=int, default=1, metavar="N",
+                   help="replacement attempts after an involuntary worker "
+                        "death (crash/hang/timeout; default: 1)")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="checkpoint each design's flows under DIR; "
+                        "supervised retries resume from the last atomic "
+                        "checkpoint instead of recomputing")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(

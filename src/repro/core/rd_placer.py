@@ -56,11 +56,13 @@ from repro.place.global_placer import GlobalPlacer
 from repro.place.initial import initial_placement
 from repro.route.config import RouterConfig
 from repro.route.router import GlobalRouter, RoutingResult
-from repro.utils import faults
+from repro.utils import faults, heartbeat
 from repro.utils.checkpoint import (
     CHECKPOINT_VERSION,
+    CheckpointCorruptError,
     CheckpointError,
-    read_checkpoint,
+    backup_path,
+    read_checkpoint_with_fallback,
     write_checkpoint,
 )
 from repro.utils.contracts import CONTRACTS
@@ -72,6 +74,11 @@ from repro.utils.timer import Timer
 from repro.wirelength.hpwl import hpwl as hpwl_of
 
 logger = get_logger("core.rd_placer")
+
+
+def _checkpoint_candidates(path: str) -> bool:
+    """True when the checkpoint or its ``.bak`` predecessor exists."""
+    return os.path.exists(path) or os.path.exists(backup_path(path))
 
 
 @dataclass
@@ -287,8 +294,33 @@ class RoutabilityDrivenPlacer:
         timer = Timer().start()
 
         state: _FlowState | None = None
-        if resume and checkpoint_path and os.path.exists(checkpoint_path):
-            state = self._load_flow_checkpoint(checkpoint_path)
+        if resume and checkpoint_path and _checkpoint_candidates(checkpoint_path):
+            try:
+                state = self._load_flow_checkpoint(checkpoint_path)
+            except CheckpointCorruptError as exc:
+                # torn write with no good predecessor: a cold start is
+                # the correct recovery (the retry recomputes), but the
+                # damage is reported, never silently absorbed
+                self.recovery_log.record(
+                    GuardEvent(
+                        site="rd.checkpoint",
+                        kind="checkpoint_corrupt",
+                        detail=str(exc),
+                        action="cold_start",
+                    )
+                )
+                if self.metrics.enabled:
+                    self.metrics.emit(
+                        "rd.recovery",
+                        round=-1,
+                        guard="checkpoint_corrupt",
+                        detail=str(exc),
+                        action="cold_start",
+                    )
+                logger.warning(
+                    "checkpoint unusable, starting flow from scratch: %s", exc
+                )
+        if state is not None:
             if self.metrics.enabled:
                 self.metrics.emit("rd.resume", round=state.next_round)
             logger.info(
@@ -303,6 +335,8 @@ class RoutabilityDrivenPlacer:
 
         failures = 0
         for round_id in range(state.next_round, cfg.max_rounds):
+            # supervised-job progress marker: a hung round stops beating
+            heartbeat.beat()
             self.profiler.count("rd.rounds")
             try:
                 outcome = self._run_round(round_id, state)
@@ -733,7 +767,9 @@ class RoutabilityDrivenPlacer:
             }
 
         with self.profiler.timer("rd.checkpoint"):
-            write_checkpoint(path, meta, arrays)
+            # keep the predecessor: a torn write of this file must not
+            # cost the flow its only resume point
+            write_checkpoint(path, meta, arrays, keep_previous=True)
         if self.metrics.enabled:
             self.metrics.inc("rd.checkpoints")
             self.metrics.emit("rd.checkpoint", round=state.next_round)
@@ -743,7 +779,20 @@ class RoutabilityDrivenPlacer:
 
     def _load_flow_checkpoint(self, path: str) -> _FlowState:
         cfg = self.config
-        meta, arrays = read_checkpoint(path)
+        meta, arrays, used_path = read_checkpoint_with_fallback(path)
+        if used_path != path:
+            logger.warning(
+                "checkpoint %s unusable; resuming from previous good "
+                "checkpoint %s", path, used_path,
+            )
+            if self.metrics.enabled:
+                self.metrics.emit(
+                    "rd.recovery",
+                    round=-1,
+                    guard="checkpoint_corrupt",
+                    detail=f"fell back to {used_path}",
+                    action="fallback",
+                )
         if meta.get("version") != CHECKPOINT_VERSION:
             raise CheckpointError(
                 f"{path}: checkpoint version {meta.get('version')!r} "

@@ -32,6 +32,7 @@ from repro.optim.adam import AdamOptimizer
 from repro.optim.nesterov import NesterovOptimizer
 from repro.place.config import GPConfig, auto_grid_dim
 from repro.place.initial import initial_placement, scatter_fillers
+from repro.utils import heartbeat
 from repro.utils.contracts import CONTRACTS
 from repro.utils.guards import (
     DivergenceSentinel,
@@ -354,6 +355,9 @@ class GlobalPlacer:
 
         consecutive_trips = 0
         for it in range(iters):
+            # supervised-job progress marker (one attribute read when
+            # unsupervised); a hung solver iteration stops beating
+            heartbeat.beat()
             # inclusive of gp.wirelength / gp.poisson / gp.congestion_grad
             try:
                 with self.profiler.timer("gp.step"):

@@ -54,6 +54,21 @@ SCHEMA_VERSION = 1
 EVENT_FIELDS: dict = {
     "run.start": (),
     "run.end": ("counters", "gauges", "histograms"),
+    # terminal marker of an abnormally-ended run (SIGTERM / interpreter
+    # exit with an unflushed registry); see install_abort_flush
+    "run.aborted": ("reason",),
+    # supervised job runtime lifecycle (see repro.jobs) — emitted by
+    # the supervisor, never by workers, so per-design worker segments
+    # stay bit-identical whether or not a run is supervised
+    "job.submit": ("job", "index"),
+    "job.start": ("job", "attempt", "pid"),
+    "job.end": ("job", "attempt", "state", "elapsed_s"),
+    "job.timeout": ("job", "attempt", "timeout_s"),
+    "job.hung": ("job", "attempt", "silent_s"),
+    "job.crashed": ("job", "attempt", "exitcode"),
+    "job.retry": ("job", "attempt", "backoff_s", "resume"),
+    "job.cancel": ("job",),
+    "job.degrade": ("rung", "reason"),
     # one per GlobalPlacer solver iteration
     "gp.iter": ("iter", "hpwl", "overflow", "density_weight", "step", "grad_norm"),
     # one per divergence-guard trip inside the placer loop
@@ -360,6 +375,116 @@ class MetricsRegistry:
         self.emit("run.end", **self.snapshot())
         self._closed = True
         self.sink.close()
+
+
+# ----------------------------------------------------------------------
+# abnormal-exit flushing
+# ----------------------------------------------------------------------
+class AbortFlush:
+    """SIGTERM/atexit safety net for a buffered metrics registry.
+
+    A killed or crashed run would otherwise lose whatever the
+    :class:`JsonlSink` still buffers.  Installing an :class:`AbortFlush`
+    arranges that
+
+    * **SIGTERM** emits a terminal ``run.aborted`` event (carrying the
+      signal name and the profiler's currently-open stages, when one is
+      attached), flushes the sink, and re-raises as ``SystemExit(143)``
+      so cleanup handlers still run;
+    * **interpreter exit** with a registry that was never closed (an
+      unhandled exception unwound past the flow) emits ``run.aborted``
+      with ``reason="exit-without-close"`` and flushes.
+
+    Either way the on-disk JSONL stream stays valid — truncated, but
+    parseable and ``validate_stream``-clean up to the abort marker.
+    Use :func:`install_abort_flush`; call :meth:`uninstall` once the
+    run closed normally (idempotent).  Signal handlers can only be
+    installed from the main thread; elsewhere only the atexit hook is
+    armed.
+    """
+
+    def __init__(self, registry: "MetricsRegistry", profiler=None) -> None:
+        self.registry = registry
+        self.profiler = profiler
+        self._prev_handlers: dict = {}
+        self._installed = False
+        self._fired = False
+
+    # ------------------------------------------------------------------
+    def install(self, signals: tuple = None) -> "AbortFlush":
+        """Arm the atexit hook and (main thread only) signal handlers."""
+        import atexit
+        import signal as signal_mod
+
+        if self._installed:
+            return self
+        self._installed = True
+        atexit.register(self._atexit_hook)
+        for sig in signals if signals is not None else (signal_mod.SIGTERM,):
+            try:
+                self._prev_handlers[sig] = signal_mod.signal(
+                    sig, self._signal_hook
+                )
+            except ValueError:
+                # not the main thread (or an unsupported signal):
+                # atexit coverage only
+                pass
+        return self
+
+    def uninstall(self) -> None:
+        """Disarm hooks and restore previous signal handlers."""
+        import atexit
+        import signal as signal_mod
+
+        if not self._installed:
+            return
+        self._installed = False
+        atexit.unregister(self._atexit_hook)
+        for sig, prev in self._prev_handlers.items():
+            try:
+                signal_mod.signal(sig, prev)
+            except (ValueError, TypeError):
+                pass
+        self._prev_handlers.clear()
+
+    # ------------------------------------------------------------------
+    def trigger(self, reason: str) -> bool:
+        """Emit ``run.aborted`` + flush; True when the event was written.
+
+        Safe to call from signal handlers and atexit: never raises,
+        fires at most once, and is a no-op on an already-closed
+        registry (a normal shutdown).
+        """
+        if self._fired or getattr(self.registry, "_closed", True):
+            return False
+        self._fired = True
+        try:
+            fields = {"reason": reason}
+            if self.profiler is not None and self.profiler.open_stages:
+                fields["open_stages"] = list(self.profiler.open_stages)
+            self.registry.emit("run.aborted", **fields)
+            self.registry.flush()
+        except Exception:  # pragma: no cover — last-resort guard
+            return False
+        return True
+
+    def _atexit_hook(self) -> None:
+        self.trigger("exit-without-close")
+
+    def _signal_hook(self, signum, frame) -> None:
+        import signal as signal_mod
+
+        try:
+            name = signal_mod.Signals(signum).name.lower()
+        except ValueError:  # pragma: no cover — unknown signal number
+            name = str(signum)
+        self.trigger(f"signal:{name}")
+        raise SystemExit(128 + signum)
+
+
+def install_abort_flush(registry: "MetricsRegistry", profiler=None) -> AbortFlush:
+    """Install and return an armed :class:`AbortFlush` for ``registry``."""
+    return AbortFlush(registry, profiler=profiler).install()
 
 
 # ----------------------------------------------------------------------

@@ -145,6 +145,34 @@ class TestMergeHelpers:
         assert not bad.ok and ok.ok
 
 
+class TestSupervisedIdentity:
+    """The supervised pool changes *where* designs run, never the output."""
+
+    def _strip_timings(self, rows: list) -> list:
+        # PT/RT are wall-clock metrics — nondeterministic on any path
+        return [
+            {**row, "metrics": {k: v for k, v in row["metrics"].items()
+                                if k not in ("PT", "RT")}}
+            for row in rows
+        ]
+
+    def test_no_fault_sweep_matches_in_process_bit_for_bit(self):
+        seq = run_sweep(DESIGNS[:2], kind="table1", jobs=1, **FAST)
+        sup = run_sweep(DESIGNS[:2], kind="table1", jobs=2, **FAST)
+        # merged telemetry stream: bit-identical
+        assert seq.events() == sup.events()
+        # rows: identical up to wall-clock timings
+        assert self._strip_timings(seq.rows()) == self._strip_timings(sup.rows())
+        # supervisor lifecycle telemetry stays in its own stream
+        assert seq.supervisor_events == []
+        kinds = {e["kind"] for e in sup.supervisor_events}
+        assert {"run.start", "job.submit", "job.start", "job.end",
+                "run.end"} <= kinds
+        validate_stream(sup.supervisor_events)
+        assert all(r.job_state == "done" and r.attempts == 1
+                   for r in sup.runs)
+
+
 @pytest.mark.faultinject
 class TestInProcessFaults:
     def test_jobs1_fault_is_isolated_and_uninstalled(self):

@@ -481,3 +481,96 @@ class TestBenchTelemetry:
         assert payload["telemetry"]["kinds"]["a.b"] == 1
         assert "telemetry" not in bench_payload([], metrics=None)
         assert "telemetry" not in bench_payload([], metrics=NULL)
+
+
+class TestAbortFlush:
+    """SIGTERM/atexit flushing keeps a killed run's stream valid."""
+
+    def _registry(self, tmp_path):
+        from repro.utils.metrics import install_abort_flush
+
+        path = str(tmp_path / "m.jsonl")
+        m = MetricsRegistry(sink=JsonlSink(path))
+        m.start_run(command="test")
+        m.emit("gp.guard", iter=1, guard="g", detail="d")
+        return m, install_abort_flush(m), path
+
+    def test_sigterm_writes_aborted_marker_and_exits(self, tmp_path):
+        import signal
+
+        m, abort, path = self._registry(tmp_path)
+        try:
+            with pytest.raises(SystemExit) as excinfo:
+                abort._signal_hook(signal.SIGTERM, None)
+            assert excinfo.value.code == 128 + signal.SIGTERM
+            events = read_jsonl(path)
+            validate_stream(events)
+            assert events[-1]["kind"] == "run.aborted"
+            assert events[-1]["reason"] == "signal:sigterm"
+        finally:
+            abort.uninstall()
+
+    def test_aborted_event_carries_open_stages(self, tmp_path):
+        import signal
+
+        from repro.utils.metrics import install_abort_flush
+        from repro.utils.profile import StageProfiler
+
+        path = str(tmp_path / "m.jsonl")
+        profiler = StageProfiler()
+        m = MetricsRegistry(sink=JsonlSink(path))
+        m.start_run(command="test")
+        abort = install_abort_flush(m, profiler=profiler)
+        try:
+            profiler.open_stages.append("rd.route")
+            with pytest.raises(SystemExit):
+                abort._signal_hook(signal.SIGTERM, None)
+            events = read_jsonl(path)
+            assert events[-1]["open_stages"] == ["rd.route"]
+        finally:
+            abort.uninstall()
+
+    def test_atexit_hook_flushes_unclosed_registry(self, tmp_path):
+        m, abort, path = self._registry(tmp_path)
+        try:
+            abort._atexit_hook()
+            events = read_jsonl(path)
+            validate_stream(events)
+            assert events[-1]["kind"] == "run.aborted"
+            assert events[-1]["reason"] == "exit-without-close"
+        finally:
+            abort.uninstall()
+
+    def test_noop_after_normal_close(self, tmp_path):
+        m, abort, path = self._registry(tmp_path)
+        m.close()
+        abort.uninstall()
+        assert abort.trigger("too-late") is False
+        events = read_jsonl(path)
+        validate_stream(events)
+        assert events[-1]["kind"] == "run.end"
+        assert all(e["kind"] != "run.aborted" for e in events)
+
+    def test_fires_at_most_once(self, tmp_path):
+        m, abort, path = self._registry(tmp_path)
+        try:
+            assert abort.trigger("first") is True
+            assert abort.trigger("second") is False
+            events = read_jsonl(path)
+            aborted = [e for e in events if e["kind"] == "run.aborted"]
+            assert [e["reason"] for e in aborted] == ["first"]
+        finally:
+            abort.uninstall()
+
+    def test_install_uninstall_restores_handler(self):
+        import signal
+
+        from repro.utils.metrics import AbortFlush
+
+        m = MetricsRegistry(sink=MemorySink())
+        m.start_run()
+        before = signal.getsignal(signal.SIGTERM)
+        abort = AbortFlush(m).install()
+        assert signal.getsignal(signal.SIGTERM) == abort._signal_hook
+        abort.uninstall()
+        assert signal.getsignal(signal.SIGTERM) == before

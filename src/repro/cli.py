@@ -9,6 +9,10 @@ eval    score a placed design (DRWL / #DRVias / #DRVs)
 plot    dump placement SVG and congestion heatmap PPM
 bench   run a Table I/II sweep, optionally sharded across --jobs workers
 gradcheck  validate analytic gradients against central differences
+serve   run the placement-as-a-service daemon (see repro.service)
+submit  queue a place/route job on a running daemon
+status  show daemon queue state or one job's status
+cancel  request cancellation of a queued/running job
 
 ``place`` and ``route`` accept ``--check-invariants {off,warn,raise}``
 to arm the numeric-contract layer (see :mod:`repro.utils.contracts`);
@@ -27,64 +31,6 @@ import os
 import sys
 
 
-def _open_metrics(
-    args: argparse.Namespace,
-    command: str,
-    resumed: bool = False,
-    profiler=None,
-):
-    """Build the registry for ``--metrics-out`` (or the disabled NULL).
-
-    Returns ``(metrics, finish)`` where ``finish()`` closes the stream
-    and returns a rendered :class:`~repro.utils.metrics.MetricsReport`
-    (``None`` when telemetry is disabled).  A resumed flow appends to
-    the existing stream; the new segment starts with its own
-    ``run.start`` event carrying ``resumed: true``.
-
-    The registry is armed with an abort flush: a SIGTERM'd or crashed
-    run emits a terminal ``run.aborted`` event (naming the profiler's
-    open stages when one is attached) and flushes the buffered sink,
-    so the on-disk JSONL stays valid — truncated, not torn.
-    """
-    from repro.utils.metrics import (
-        NULL,
-        JsonlSink,
-        MetricsRegistry,
-        MetricsReport,
-        install_abort_flush,
-    )
-
-    path = getattr(args, "metrics_out", None)
-    if not path:
-        return NULL, lambda: None
-
-    append = resumed and os.path.exists(path)
-    metrics = MetricsRegistry(sink=JsonlSink(path, append=append))
-    metrics.start_run(command=command, design=args.input, resumed=append)
-    abort = install_abort_flush(metrics, profiler=profiler)
-
-    def finish():
-        metrics.close()
-        abort.uninstall()
-        return MetricsReport.from_jsonl(path).render(f"metrics report ({path})")
-
-    return metrics, finish
-
-
-def _configure_contracts(args: argparse.Namespace, metrics) -> None:
-    """Arm the contract checker from ``--check-invariants``.
-
-    ``None`` (flag absent) keeps the ``REPRO_CHECK_INVARIANTS``
-    environment default; either way the telemetry registry is attached
-    so warn-mode violations land in the ``--metrics-out`` stream.
-    """
-    from repro.utils import contracts
-
-    contracts.configure(
-        mode=getattr(args, "check_invariants", None), metrics=metrics
-    )
-
-
 def _configure_kernels(args: argparse.Namespace, metrics) -> None:
     """Select the kernel backend from ``--kernel-backend``.
 
@@ -94,28 +40,17 @@ def _configure_kernels(args: argparse.Namespace, metrics) -> None:
     ``kernel.backend`` telemetry event records the decision when a
     registry is attached.
     """
-    from repro import kernels
+    from repro.service.runner import configure_kernels
 
-    kernels.configure(getattr(args, "kernel_backend", None), metrics=metrics)
+    configure_kernels(getattr(args, "kernel_backend", None), metrics)
 
 
 def _load_validated(path: str):
-    """Load a design file and structurally validate it.
+    """Load a design file and structurally validate it (see
+    :func:`repro.service.runner.load_validated`)."""
+    from repro.service.runner import load_validated
 
-    Parse errors already name the file and line (see
-    :mod:`repro.io.bookshelf`); validation failures get the same
-    treatment so a truncated or hand-edited file fails with a message
-    pointing at the input, not a traceback from deep inside the flow.
-    """
-    from repro.io import load_design
-    from repro.netlist.validate import validate_netlist
-
-    netlist = load_design(path)
-    try:
-        validate_netlist(netlist)
-    except ValueError as exc:
-        raise SystemExit(f"error: {path}: invalid design: {exc}") from exc
-    return netlist
+    return load_validated(path)
 
 
 def _cmd_gen(args: argparse.Namespace) -> int:
@@ -135,91 +70,136 @@ def _cmd_gen(args: argparse.Namespace) -> int:
 
 
 def _cmd_place(args: argparse.Namespace) -> int:
-    from repro.core import RDConfig, RoutabilityDrivenPlacer
-    from repro.detail import detailed_place
-    from repro.io import save_design
-    from repro.legalize import check_legal, legalize
-    from repro.place import GPConfig, converge_placement, initial_placement
-    from repro.utils.profile import StageProfiler
-    from repro.wirelength import hpwl
+    from repro.service.runner import PlaceRequest, run_place_job
 
-    netlist = _load_validated(args.input)
-    gp = GPConfig(max_iters=args.iters)
-    profiler = StageProfiler()
-    resuming = args.checkpoint is not None and os.path.exists(args.checkpoint)
-    metrics, finish_metrics = _open_metrics(
-        args, "place", resumed=resuming, profiler=profiler
-    )
-    _configure_contracts(args, metrics)
-    _configure_kernels(args, metrics)
-    if args.routability:
-        placer = RoutabilityDrivenPlacer(
-            netlist, RDConfig(gp=gp), profiler=profiler, metrics=metrics
-        )
-        result = placer.run(
-            checkpoint_path=args.checkpoint,
-            resume=args.checkpoint is not None,
-        )
-        if result.resumed_from_round >= 0:
-            print(f"resumed from checkpoint after round "
-                  f"{result.resumed_from_round}")
-        print(f"routability rounds: {result.n_rounds} "
-              f"(best round {result.best_round})")
-        if result.guard_events:
-            print(f"guard events: {len(result.guard_events)} "
-                  f"(see logs for details)")
-        congestion = result.final_routing.congestion_map
-        grid = placer.gp.grid
-    else:
-        initial_placement(netlist, gp.seed)
-        converge_placement(netlist, gp, profiler=profiler, metrics=metrics)
-        congestion = None
-        grid = None
-    with profiler.timer("flow.legalize"):
-        legalize(netlist)
-    with profiler.timer("flow.detail"):
-        detailed_place(netlist, passes=2, grid=grid, congestion=congestion)
-    issues = check_legal(netlist)
-    print(f"hpwl={hpwl(netlist):.0f} legality="
-          f"{'CLEAN' if not issues else f'{len(issues)} issues'}")
-    save_design(netlist, args.out)
-    print(f"wrote {args.out}")
-    report = finish_metrics()
-    if report:
-        print(report)
+    outcome = run_place_job(PlaceRequest(
+        input=args.input,
+        out=args.out,
+        routability=args.routability,
+        iters=args.iters,
+        rounds=args.rounds,
+        iters_per_round=args.iters_per_round,
+        checkpoint=args.checkpoint,
+        metrics_out=args.metrics_out,
+        check_invariants=args.check_invariants,
+        kernel_backend=args.kernel_backend,
+    ))
+    for line in outcome.summary_lines():
+        print(line)
+    if outcome.report:
+        print(outcome.report)
     if args.profile:
-        print(profiler.report("stage profile (wall-clock)"))
+        print(outcome.profiler.report("stage profile (wall-clock)"))
     return 0
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
-    from repro.geometry import Grid2D
-    from repro.place.config import auto_grid_dim
-    from repro.route import GlobalRouter, RouterConfig
-    from repro.utils.profile import StageProfiler
+    from repro.service.runner import RouteRequest, run_route_job
 
-    netlist = _load_validated(args.input)
-    dim = args.grid or auto_grid_dim(netlist.n_cells)
-    grid = Grid2D(netlist.die, dim, dim)
-    profiler = StageProfiler()
-    metrics, finish_metrics = _open_metrics(args, "route", profiler=profiler)
-    _configure_contracts(args, metrics)
-    _configure_kernels(args, metrics)
-    config = RouterConfig(engine=args.engine)
-    result = GlobalRouter(
-        grid, config, profiler=profiler, metrics=metrics
-    ).route(netlist)
-    util = result.utilization_map
-    print(f"segments={result.n_segments} wirelength={result.wirelength:.0f} "
-          f"vias={result.n_vias:.0f}")
-    print(f"utilization mean={util.mean():.3f} max={util.max():.2f} "
-          f"overflow={result.total_overflow:.0f} "
-          f"congested={(result.congestion_map > 0).mean() * 100:.1f}%")
-    report = finish_metrics()
-    if report:
-        print(report)
+    outcome = run_route_job(RouteRequest(
+        input=args.input,
+        grid=args.grid,
+        engine=args.engine,
+        metrics_out=args.metrics_out,
+        check_invariants=args.check_invariants,
+        kernel_backend=args.kernel_backend,
+    ))
+    for line in outcome.summary_lines():
+        print(line)
+    if outcome.report:
+        print(outcome.report)
     if args.profile:
-        print(profiler.report("stage profile (wall-clock)"))
+        print(outcome.profiler.report("stage profile (wall-clock)"))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service import PlacementService, ServiceConfig
+
+    service = PlacementService(ServiceConfig(
+        root=args.root,
+        host=args.host,
+        port=args.port,
+        max_workers=args.max_workers,
+        execution=args.execution,
+        job_timeout=args.job_timeout,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_retries=args.job_retries,
+    ))
+    host, port = service.start()
+    print(f"placement service on {host}:{port} (root {service.root})")
+
+    def _stop(signum, frame):
+        service.stop(f"signal:{signum}")
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    service.wait()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(root=args.root)
+    request: dict = {"input": os.path.abspath(args.input)}
+    if args.kind == "place":
+        if args.routability:
+            request["routability"] = True
+        if args.iters is not None:
+            request["iters"] = args.iters
+        if args.rounds is not None:
+            request["rounds"] = args.rounds
+        if args.iters_per_round is not None:
+            request["iters_per_round"] = args.iters_per_round
+    entry = client.submit(request, kind=args.kind, priority=args.priority)
+    print(f"queued {entry['job_id']} (seq {entry['seq']}, "
+          f"priority {entry['priority']})")
+    if args.wait:
+        entry = client.wait(entry["job_id"], timeout=args.timeout)
+        print(_format_entry(entry))
+        return 0 if entry["state"] == "DONE" else 1
+    return 0
+
+
+def _format_entry(entry: dict) -> str:
+    line = (f"{entry['job_id']}: {entry['state']} "
+            f"(attempts {entry['attempts']})")
+    if entry.get("result"):
+        result = entry["result"]
+        if result.get("kind") == "place":
+            line += f" hpwl={result['hpwl']:.0f} -> {result['out']}"
+        elif result.get("kind") == "route":
+            line += (f" wirelength={result['wirelength']:.0f} "
+                     f"overflow={result['total_overflow']:.0f}")
+    if entry.get("error"):
+        line += f"\n  error: {entry['error'].strip().splitlines()[-1]}"
+    return line
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(root=args.root)
+    if args.job_id:
+        print(_format_entry(client.status(args.job_id)))
+    else:
+        stats = client.stats()
+        print(f"queue: {stats['queue']}  cache: {stats['cache']}")
+        for entry in client.jobs():
+            print(_format_entry(entry))
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(root=args.root)
+    entry = client.cancel(args.job_id)
+    print(f"cancel requested for {entry['job_id']} "
+          f"(was {entry['state']})")
     return 0
 
 
@@ -358,6 +338,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--routability", action="store_true",
                    help="run the full Fig. 2 flow instead of WL-only")
     p.add_argument("--iters", type=int, default=1000)
+    p.add_argument("--rounds", type=int, default=None, metavar="N",
+                   help="cap the routability flow at N rounds "
+                        "(default: the RDConfig default)")
+    p.add_argument("--iters-per-round", type=int, default=None, metavar="N",
+                   help="GP iterations per routability round "
+                        "(default: the RDConfig default)")
     p.add_argument("--out", default="placed.bl")
     p.add_argument("--checkpoint", default=None, metavar="PATH",
                    help="write the routability-flow state here after each "
@@ -439,6 +425,62 @@ def build_parser() -> argparse.ArgumentParser:
                         "supervised retries resume from the last atomic "
                         "checkpoint instead of recomputing")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("serve", help="run the placement service daemon")
+    p.add_argument("--root", required=True, metavar="DIR",
+                   help="service state directory (queue, job artifacts, "
+                        "telemetry); reusing a root resumes its queue")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port (0 = pick a free one; the resolved "
+                        "address is written to <root>/service.json)")
+    p.add_argument("--max-workers", type=int, default=1, metavar="N",
+                   help="concurrent supervised worker processes")
+    p.add_argument("--execution", choices=("supervised", "inline"),
+                   default="supervised",
+                   help="supervised = one worker process per job "
+                        "(deadlines/heartbeats/retries); inline = run "
+                        "jobs serially in the daemon sharing its warm "
+                        "caches")
+    p.add_argument("--job-timeout", type=float, default=None, metavar="S",
+                   help="per-job wall-clock deadline (supervised only)")
+    p.add_argument("--heartbeat-timeout", type=float, default=None,
+                   metavar="S",
+                   help="reap a job after S seconds without a progress "
+                        "beat (supervised only)")
+    p.add_argument("--job-retries", type=int, default=1, metavar="N",
+                   help="replacement attempts after an involuntary "
+                        "worker death")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("submit", help="queue a job on a running daemon")
+    p.add_argument("input", help="design file to place/route")
+    p.add_argument("--root", required=True, metavar="DIR",
+                   help="the daemon's service root")
+    p.add_argument("--kind", choices=("place", "route"), default="place")
+    p.add_argument("--routability", action="store_true",
+                   help="full routability flow (place jobs)")
+    p.add_argument("--iters", type=int, default=None)
+    p.add_argument("--rounds", type=int, default=None)
+    p.add_argument("--iters-per-round", type=int, default=None)
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs first; FIFO within a priority")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job finishes and print its "
+                        "result (exit 1 unless DONE)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="--wait deadline in seconds")
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("status", help="show daemon/job status")
+    p.add_argument("--root", required=True, metavar="DIR")
+    p.add_argument("job_id", nargs="?", default=None)
+    p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser("cancel", help="cancel a queued/running job")
+    p.add_argument("--root", required=True, metavar="DIR")
+    p.add_argument("job_id")
+    p.set_defaults(func=_cmd_cancel)
 
     p = sub.add_parser(
         "gradcheck",

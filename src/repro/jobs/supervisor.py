@@ -178,6 +178,7 @@ class Supervisor:
         self._ctx = mp_context or multiprocessing.get_context()
         self._jobs: dict = {}
         self._order: list = []
+        self._delivered: set = set()
         self._root = tempfile.mkdtemp(prefix="repro-jobs-")
         self._closed = False
 
@@ -233,6 +234,31 @@ class Supervisor:
             for jid in self._order
             if self._jobs[jid].result is not None
         ]
+
+    def take_completed(self) -> list:
+        """Newly terminal :class:`JobResult` entries since the last call.
+
+        Incremental companion to :meth:`results` for long-lived callers
+        (the service daemon drains this from its scheduler tick): each
+        terminal result is returned exactly once, submission order
+        within a call.
+        """
+        fresh = []
+        for jid in self._order:
+            job = self._jobs[jid]
+            if job.result is not None and jid not in self._delivered:
+                self._delivered.add(jid)
+                fresh.append(job.result)
+        return fresh
+
+    def job_state(self, job_id: str) -> str:
+        """The current lifecycle state of one submitted job."""
+        return self._jobs[job_id].state
+
+    def worker_pid(self, job_id: str) -> int | None:
+        """Pid of the job's live worker process (``None`` if none)."""
+        proc = self._jobs[job_id].proc
+        return proc.pid if proc is not None else None
 
     def unfinished_specs(self) -> list:
         """Specs of jobs without a terminal result (for ladder rebuilds)."""

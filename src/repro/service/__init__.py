@@ -1,0 +1,79 @@
+"""Placement-as-a-service: daemon, client, queue, and shared job runner.
+
+The service layer turns the CLI-per-run model into a long-running
+daemon (``repro serve``) that accepts placement/route jobs over a
+local HTTP API, executes them on the supervised job runtime
+(:mod:`repro.jobs` — deadlines, heartbeats, cooperative cancellation
+and retry-with-resume all reused), and streams each job's JSONL
+telemetry back to clients as it progresses.
+
+Layout
+------
+:mod:`repro.service.queue`
+    Persistent priority queue: one JSON file per job, deterministic
+    ``(-priority, seq)`` ordering, crash recovery by rescan.
+:mod:`repro.service.runner`
+    The shared flow runner.  ``repro place`` / ``repro route`` and the
+    service workers execute the *same* :func:`~repro.service.runner.
+    run_place_job` / :func:`~repro.service.runner.run_route_job`
+    functions, so a job submitted over the API produces bit-identical
+    positions, telemetry and checkpoint bytes to the equivalent CLI
+    run (pinned by the conformance suite).
+:mod:`repro.service.cache`
+    Warm caches owned by the daemon process: parsed netlists (handed
+    out as :meth:`~repro.netlist.netlist.Netlist.copy` snapshots) plus
+    the process-wide :class:`~repro.density.poisson.SpectralWorkspace`
+    cache that inline jobs reuse across runs.
+:mod:`repro.service.server`
+    The :class:`~repro.service.server.PlacementService` daemon: HTTP
+    API, scheduler thread, queue recovery after a crash.
+:mod:`repro.service.client`
+    :class:`~repro.service.client.ServiceClient` — what ``repro
+    submit`` / ``repro status`` / ``repro cancel`` are built on.
+"""
+
+from repro.service.client import ServiceClient, read_service_address
+from repro.service.queue import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    PersistentQueue,
+    QueueEntry,
+    execution_order,
+)
+from repro.service.runner import (
+    PlaceOutcome,
+    PlaceRequest,
+    RouteOutcome,
+    RouteRequest,
+    execute_service_job,
+    run_place_job,
+    run_route_job,
+)
+from repro.service.server import PlacementService, ServiceConfig
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "PersistentQueue",
+    "PlaceOutcome",
+    "PlaceRequest",
+    "PlacementService",
+    "QueueEntry",
+    "RouteOutcome",
+    "RouteRequest",
+    "ServiceClient",
+    "ServiceConfig",
+    "execute_service_job",
+    "execution_order",
+    "read_service_address",
+    "run_place_job",
+    "run_route_job",
+]

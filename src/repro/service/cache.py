@@ -1,0 +1,86 @@
+"""Warm caches owned by the daemon process.
+
+The service exists because cold processes repeat work: every CLI run
+re-parses its design and rebuilds the spectral workspaces the density
+solver needs.  A long-lived daemon keeps both warm:
+
+* **Netlist cache** (this module): parsed designs keyed by ``(abspath,
+  mtime_ns, size)`` so an edited file is never served stale.  Lookups
+  hand out :meth:`~repro.netlist.netlist.Netlist.copy` snapshots —
+  positions are deep-copied, topology shared read-only — so one job's
+  placement never leaks into the next.
+* **Spectral workspaces**: :class:`~repro.density.poisson.
+  SpectralWorkspace` instances are already memoized process-wide by
+  grid geometry (see ``SpectralWorkspace.for_grid``); inline jobs in
+  the daemon reuse them for free.  :meth:`ServiceCache.stats` surfaces
+  that cache's size alongside netlist hit/miss counts.
+
+Only inline execution benefits from the netlist cache (supervised jobs
+run in worker processes with their own memory); the spectral cache
+warms per worker the same way.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+
+
+class ServiceCache:
+    """LRU cache of parsed designs plus warm-cache statistics.
+
+    Thread-safe; sized in designs (default 8) because a parsed netlist
+    is the expensive part, not the bytes.  Eviction is
+    least-recently-used.
+    """
+
+    def __init__(self, max_netlists: int = 8):
+        self.max_netlists = max_netlists
+        self._lock = threading.Lock()
+        self._netlists: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(path: str):
+        stat = os.stat(path)
+        return (os.path.abspath(path), stat.st_mtime_ns, stat.st_size)
+
+    def netlist(self, path: str):
+        """A private copy of the parsed design at ``path``.
+
+        Parses (and structurally validates) on miss, serves a
+        :meth:`~repro.netlist.netlist.Netlist.copy` snapshot on hit.
+        A changed file (different mtime/size) is a miss — the stale
+        parse ages out of the LRU.
+        """
+        from repro.service.runner import load_validated
+
+        key = self._key(path)
+        with self._lock:
+            cached = self._netlists.get(key)
+            if cached is not None:
+                self._netlists.move_to_end(key)
+                self.hits += 1
+                return cached.copy()
+            self.misses += 1
+        netlist = load_validated(path)
+        with self._lock:
+            self._netlists[key] = netlist
+            self._netlists.move_to_end(key)
+            while len(self._netlists) > self.max_netlists:
+                self._netlists.popitem(last=False)
+        return netlist.copy()
+
+    def stats(self) -> dict:
+        """Cache health: netlist hits/misses/size + spectral cache size."""
+        from repro.density.poisson import spectral_cache_size
+
+        with self._lock:
+            return {
+                "netlist_hits": self.hits,
+                "netlist_misses": self.misses,
+                "netlist_cached": len(self._netlists),
+                "spectral_workspaces": spectral_cache_size(),
+            }

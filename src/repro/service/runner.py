@@ -1,0 +1,460 @@
+"""Shared flow runner: one code path for CLI runs and service jobs.
+
+:func:`run_place_job` and :func:`run_route_job` are the complete
+``repro place`` / ``repro route`` flows — load + validate, telemetry,
+contracts, kernel selection, the placement/routing itself, output
+files — factored out of :mod:`repro.cli` so the service daemon
+executes *exactly* the code the CLI executes.  That identity is the
+service's conformance contract: a job submitted over the API produces
+bit-identical positions, metrics streams and checkpoint bytes to the
+equivalent CLI invocation (the conformance suite compares the files
+byte for byte).
+
+:func:`execute_service_job` is the module-level entry point the
+daemon hands to the supervised job runtime (it must be picklable for
+worker processes); inline execution passes a
+:class:`~repro.service.cache.ServiceCache` so repeated jobs skip
+re-parsing their input design.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+# ----------------------------------------------------------------------
+# shared plumbing (telemetry / contracts / kernels)
+# ----------------------------------------------------------------------
+def open_metrics(
+    path: str | None,
+    command: str,
+    design: str,
+    resumed: bool = False,
+    profiler=None,
+    buffer_lines: int = 256,
+):
+    """Build the registry for a metrics path (or the disabled NULL).
+
+    Returns ``(metrics, finish)`` where ``finish()`` closes the stream
+    and returns a rendered :class:`~repro.utils.metrics.MetricsReport`
+    (``None`` when telemetry is disabled).  A resumed flow appends to
+    the existing stream; the new segment starts with its own
+    ``run.start`` event carrying ``resumed: true``.
+
+    The registry is armed with an abort flush: a SIGTERM'd or crashed
+    run emits a terminal ``run.aborted`` event (naming the profiler's
+    open stages when one is attached) and flushes the buffered sink,
+    so the on-disk JSONL stays valid — truncated, not torn.
+
+    ``buffer_lines`` sizes the sink's write batching; the service
+    passes 1 so clients can stream a job's events while it runs.  The
+    final file bytes are identical for any buffer size.
+    """
+    from repro.utils.metrics import (
+        NULL,
+        JsonlSink,
+        MetricsRegistry,
+        MetricsReport,
+        install_abort_flush,
+    )
+
+    if not path:
+        return NULL, lambda: None
+
+    append = resumed and os.path.exists(path)
+    metrics = MetricsRegistry(
+        sink=JsonlSink(path, append=append, buffer_lines=buffer_lines)
+    )
+    metrics.start_run(command=command, design=design, resumed=append)
+    abort = install_abort_flush(metrics, profiler=profiler)
+
+    def finish():
+        metrics.close()
+        abort.uninstall()
+        return MetricsReport.from_jsonl(path).render(f"metrics report ({path})")
+
+    return metrics, finish
+
+
+def configure_contracts(mode: str | None, metrics) -> None:
+    """Arm the contract checker (``None`` keeps the environment default).
+
+    Either way the telemetry registry is attached so warn-mode
+    violations land in the metrics stream.
+    """
+    from repro.utils import contracts
+
+    contracts.configure(mode=mode, metrics=metrics)
+
+
+def configure_kernels(backend: str | None, metrics) -> None:
+    """Select the kernel backend (``None`` keeps the environment default).
+
+    The resolved choice is exported back into the environment so worker
+    subprocesses inherit it, and a ``kernel.backend`` telemetry event
+    records the decision when a registry is attached.
+    """
+    from repro import kernels
+
+    kernels.configure(backend, metrics=metrics)
+
+
+def load_validated(path: str):
+    """Load a design file and structurally validate it.
+
+    Parse errors already name the file and line (see
+    :mod:`repro.io.bookshelf`); validation failures get the same
+    treatment so a truncated or hand-edited file fails with a message
+    pointing at the input, not a traceback from deep inside the flow.
+    """
+    from repro.io import load_design
+    from repro.netlist.validate import validate_netlist
+
+    netlist = load_design(path)
+    try:
+        validate_netlist(netlist)
+    except ValueError as exc:
+        raise SystemExit(f"error: {path}: invalid design: {exc}") from exc
+    return netlist
+
+
+# ----------------------------------------------------------------------
+# place
+# ----------------------------------------------------------------------
+@dataclass
+class PlaceRequest:
+    """One ``repro place`` work order (CLI flags as data).
+
+    ``rounds`` / ``iters_per_round`` override the routability loop's
+    :class:`~repro.core.rd_placer.RDConfig` defaults when set (they
+    exist so service jobs and tests can bound flow length); ``None``
+    keeps the config defaults, which is what the bare CLI passes.
+    ``metrics_buffer_lines`` only affects write batching of the JSONL
+    sink, never the resulting bytes.
+    """
+
+    input: str
+    out: str = "placed.bl"
+    routability: bool = False
+    iters: int = 1000
+    rounds: int | None = None
+    iters_per_round: int | None = None
+    checkpoint: str | None = None
+    metrics_out: str | None = None
+    check_invariants: str | None = None
+    kernel_backend: str | None = None
+    metrics_buffer_lines: int = 256
+
+
+@dataclass
+class PlaceOutcome:
+    """What a place job produced (the CLI prints :meth:`summary_lines`)."""
+
+    out: str
+    hpwl: float = 0.0
+    n_issues: int = 0
+    n_rounds: int = 0
+    best_round: int = -1
+    resumed_from_round: int = -1
+    n_guard_events: int = 0
+    routability: bool = False
+    report: str | None = None
+    profiler: object = None
+
+    def summary_lines(self) -> list:
+        """The human-readable result lines (byte-compatible with the
+        pre-refactor CLI output)."""
+        lines = []
+        if self.routability:
+            if self.resumed_from_round >= 0:
+                lines.append(
+                    f"resumed from checkpoint after round "
+                    f"{self.resumed_from_round}"
+                )
+            lines.append(
+                f"routability rounds: {self.n_rounds} "
+                f"(best round {self.best_round})"
+            )
+            if self.n_guard_events:
+                lines.append(
+                    f"guard events: {self.n_guard_events} "
+                    f"(see logs for details)"
+                )
+        legality = (
+            "CLEAN" if not self.n_issues else f"{self.n_issues} issues"
+        )
+        lines.append(f"hpwl={self.hpwl:.0f} legality={legality}")
+        lines.append(f"wrote {self.out}")
+        return lines
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (what service clients see as the result)."""
+        return {
+            "kind": "place",
+            "out": self.out,
+            "hpwl": self.hpwl,
+            "n_issues": self.n_issues,
+            "routability": self.routability,
+            "n_rounds": self.n_rounds,
+            "best_round": self.best_round,
+            "resumed_from_round": self.resumed_from_round,
+            "n_guard_events": self.n_guard_events,
+        }
+
+
+def run_place_job(req: PlaceRequest, netlist=None) -> PlaceOutcome:
+    """Run one complete place flow (the body of ``repro place``).
+
+    ``netlist`` short-circuits the load step with an already-parsed
+    design — the daemon's warm cache hands out
+    :meth:`~repro.netlist.netlist.Netlist.copy` snapshots here.  The
+    result is bit-identical either way (positions are re-seeded by the
+    flow; topology is read-only).
+
+    A ``checkpoint`` that already exists on disk resumes the
+    routability loop from it (same rule as the CLI flag), which is how
+    supervised retries and daemon restarts warm-start instead of
+    recomputing finished rounds.
+    """
+    from repro.core import RDConfig, RoutabilityDrivenPlacer
+    from repro.detail import detailed_place
+    from repro.io import save_design
+    from repro.legalize import check_legal, legalize
+    from repro.place import GPConfig, converge_placement, initial_placement
+    from repro.utils.profile import StageProfiler
+    from repro.wirelength import hpwl
+
+    if netlist is None:
+        netlist = load_validated(req.input)
+    gp = GPConfig(max_iters=req.iters)
+    profiler = StageProfiler()
+    resuming = req.checkpoint is not None and os.path.exists(req.checkpoint)
+    metrics, finish_metrics = open_metrics(
+        req.metrics_out,
+        "place",
+        design=req.input,
+        resumed=resuming,
+        profiler=profiler,
+        buffer_lines=req.metrics_buffer_lines,
+    )
+    configure_contracts(req.check_invariants, metrics)
+    configure_kernels(req.kernel_backend, metrics)
+    outcome = PlaceOutcome(out=req.out, routability=req.routability)
+    if req.routability:
+        rd_kwargs = {}
+        if req.rounds is not None:
+            rd_kwargs["max_rounds"] = req.rounds
+        if req.iters_per_round is not None:
+            rd_kwargs["iters_per_round"] = req.iters_per_round
+        placer = RoutabilityDrivenPlacer(
+            netlist, RDConfig(gp=gp, **rd_kwargs),
+            profiler=profiler, metrics=metrics,
+        )
+        result = placer.run(
+            checkpoint_path=req.checkpoint,
+            resume=req.checkpoint is not None,
+        )
+        outcome.n_rounds = result.n_rounds
+        outcome.best_round = result.best_round
+        outcome.resumed_from_round = result.resumed_from_round
+        outcome.n_guard_events = len(result.guard_events)
+        congestion = result.final_routing.congestion_map
+        grid = placer.gp.grid
+    else:
+        initial_placement(netlist, gp.seed)
+        converge_placement(netlist, gp, profiler=profiler, metrics=metrics)
+        congestion = None
+        grid = None
+    with profiler.timer("flow.legalize"):
+        legalize(netlist)
+    with profiler.timer("flow.detail"):
+        detailed_place(netlist, passes=2, grid=grid, congestion=congestion)
+    outcome.n_issues = len(check_legal(netlist))
+    outcome.hpwl = float(hpwl(netlist))
+    save_design(netlist, req.out)
+    outcome.report = finish_metrics()
+    outcome.profiler = profiler
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# route
+# ----------------------------------------------------------------------
+@dataclass
+class RouteRequest:
+    """One ``repro route`` work order (CLI flags as data)."""
+
+    input: str
+    grid: int = 0
+    engine: str = "batched"
+    metrics_out: str | None = None
+    check_invariants: str | None = None
+    kernel_backend: str | None = None
+    metrics_buffer_lines: int = 256
+
+
+@dataclass
+class RouteOutcome:
+    """What a route job produced (the CLI prints :meth:`summary_lines`)."""
+
+    n_segments: int = 0
+    wirelength: float = 0.0
+    n_vias: float = 0.0
+    util_mean: float = 0.0
+    util_max: float = 0.0
+    total_overflow: float = 0.0
+    congested_pct: float = 0.0
+    report: str | None = None
+    profiler: object = None
+
+    def summary_lines(self) -> list:
+        """The human-readable result lines (byte-compatible with the
+        pre-refactor CLI output)."""
+        return [
+            f"segments={self.n_segments} wirelength={self.wirelength:.0f} "
+            f"vias={self.n_vias:.0f}",
+            f"utilization mean={self.util_mean:.3f} max={self.util_max:.2f} "
+            f"overflow={self.total_overflow:.0f} "
+            f"congested={self.congested_pct:.1f}%",
+        ]
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (what service clients see as the result)."""
+        return {
+            "kind": "route",
+            "n_segments": self.n_segments,
+            "wirelength": self.wirelength,
+            "n_vias": self.n_vias,
+            "util_mean": self.util_mean,
+            "util_max": self.util_max,
+            "total_overflow": self.total_overflow,
+            "congested_pct": self.congested_pct,
+        }
+
+
+def run_route_job(req: RouteRequest, netlist=None) -> RouteOutcome:
+    """Run one complete route flow (the body of ``repro route``)."""
+    from repro.geometry import Grid2D
+    from repro.place.config import auto_grid_dim
+    from repro.route import GlobalRouter, RouterConfig
+    from repro.utils.profile import StageProfiler
+
+    if netlist is None:
+        netlist = load_validated(req.input)
+    dim = req.grid or auto_grid_dim(netlist.n_cells)
+    grid = Grid2D(netlist.die, dim, dim)
+    profiler = StageProfiler()
+    metrics, finish_metrics = open_metrics(
+        req.metrics_out,
+        "route",
+        design=req.input,
+        profiler=profiler,
+        buffer_lines=req.metrics_buffer_lines,
+    )
+    configure_contracts(req.check_invariants, metrics)
+    configure_kernels(req.kernel_backend, metrics)
+    config = RouterConfig(engine=req.engine)
+    result = GlobalRouter(
+        grid, config, profiler=profiler, metrics=metrics
+    ).route(netlist)
+    util = result.utilization_map
+    outcome = RouteOutcome(
+        n_segments=result.n_segments,
+        wirelength=float(result.wirelength),
+        n_vias=float(result.n_vias),
+        util_mean=float(util.mean()),
+        util_max=float(util.max()),
+        total_overflow=float(result.total_overflow),
+        congested_pct=float((result.congestion_map > 0).mean() * 100),
+    )
+    outcome.report = finish_metrics()
+    outcome.profiler = profiler
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# service job entry point
+# ----------------------------------------------------------------------
+#: Request fields a client may set on a submitted job; everything else
+#: (output / checkpoint / metrics paths) is daemon-owned.
+CLIENT_PLACE_FIELDS = (
+    "input", "routability", "iters", "rounds", "iters_per_round",
+    "check_invariants", "kernel_backend",
+)
+CLIENT_ROUTE_FIELDS = (
+    "input", "grid", "engine", "check_invariants", "kernel_backend",
+)
+
+
+@dataclass
+class _RequestShape:
+    """Internal: how one job kind maps payloads to runner calls."""
+
+    request_cls: type
+    run: object
+    client_fields: tuple = ()
+
+
+def _shapes() -> dict:
+    return {
+        "place": _RequestShape(PlaceRequest, run_place_job, CLIENT_PLACE_FIELDS),
+        "route": _RequestShape(RouteRequest, run_route_job, CLIENT_ROUTE_FIELDS),
+    }
+
+
+def validate_job_payload(payload: dict) -> str:
+    """Check a submitted job payload; returns its kind or raises.
+
+    Raised :class:`ValueError` messages are what the HTTP API returns
+    as 400 bodies, so they name the offending field.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("job payload must be an object")
+    kind = payload.get("kind", "place")
+    shapes = _shapes()
+    if kind not in shapes:
+        raise ValueError(f"unknown job kind {kind!r}")
+    request = payload.get("request")
+    if not isinstance(request, dict):
+        raise ValueError("job payload must carry a 'request' object")
+    if not request.get("input"):
+        raise ValueError("job request must name an 'input' design file")
+    allowed = set(shapes[kind].client_fields)
+    unknown = sorted(set(request) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown request field(s) for kind {kind!r}: {', '.join(unknown)}"
+        )
+    return kind
+
+
+def execute_service_job(payload: dict, ctx=None, cache=None) -> dict:
+    """Run one service job; the supervised worker / inline entry point.
+
+    ``payload`` is ``{"kind": "place"|"route", "request": {...}}``
+    with the request fields of :class:`PlaceRequest` /
+    :class:`RouteRequest` (the daemon has already filled in the
+    output / checkpoint / metrics paths).  Module-level and
+    argument-picklable so :class:`~repro.jobs.supervisor.Supervisor`
+    workers can run it; ``ctx`` is the supervised runtime's
+    :class:`~repro.jobs.spec.JobContext` (resume-on-retry needs no
+    special handling here — an existing checkpoint file resumes the
+    flow, the same rule the CLI applies).
+
+    ``cache`` (inline execution only) is the daemon's
+    :class:`~repro.service.cache.ServiceCache`; when present the
+    design is served from the warm netlist cache instead of being
+    re-parsed.
+    """
+    kind = payload.get("kind", "place")
+    shape = _shapes().get(kind)
+    if shape is None:
+        raise ValueError(f"unknown job kind {kind!r}")
+    req = shape.request_cls(**payload["request"])
+    netlist = cache.netlist(req.input) if cache is not None else None
+    outcome = shape.run(req, netlist=netlist)
+    result = outcome.as_dict()
+    if ctx is not None:
+        result["attempt"] = ctx.attempt
+    return result

@@ -1,0 +1,129 @@
+"""Offline intra-doc link checker for the repo's markdown (stdlib-only).
+
+Scans every tracked markdown file for inline links, skips external
+schemes (``http``/``https``/``mailto``) since CI must stay offline,
+and verifies that:
+
+* relative link targets exist on disk (files or directories);
+* ``#fragment`` anchors — same-file or on a linked markdown file —
+  match a real heading under GitHub's slugification rules.
+
+Exit status is the number of broken links (0 = clean), and each
+problem is printed as ``file:line: message`` so editors can jump to
+it.  Run directly or via the CI docs job::
+
+    python scripts/check_docs_links.py [files...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Files checked when no arguments are given.
+DEFAULT_GLOBS = ("*.md", "docs/*.md", "tests/golden/*.md")
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    """All heading anchors a markdown file exposes."""
+    anchors: set = set()
+    in_fence = False
+    seen: dict = {}
+    for line in path.read_text().splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(1))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for each inline link, skipping
+    fenced code blocks."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path, anchor_cache: dict) -> list:
+    """All broken-link messages for one markdown file."""
+    problems = []
+
+    def anchors(target: Path) -> set:
+        key = target.resolve()
+        if key not in anchor_cache:
+            anchor_cache[key] = anchors_of(target)
+        return anchor_cache[key]
+
+    for lineno, raw in iter_links(path):
+        if raw.startswith(("http://", "https://", "mailto:")):
+            continue
+        target_part, _, fragment = raw.partition("#")
+        if not target_part:  # same-file anchor
+            if fragment and fragment not in anchors(path):
+                problems.append(f"{path}:{lineno}: no heading for #{fragment}")
+            continue
+        target = (path.parent / target_part).resolve()
+        if not target.exists():
+            problems.append(f"{path}:{lineno}: missing target {raw}")
+            continue
+        if fragment:
+            if target.suffix != ".md":
+                problems.append(
+                    f"{path}:{lineno}: anchor on non-markdown target {raw}")
+            elif fragment not in anchors(target):
+                problems.append(
+                    f"{path}:{lineno}: no heading for {raw}")
+    return problems
+
+
+def main(argv: list | None = None) -> int:
+    """Check the given files (default: repo markdown); return count."""
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        files = [Path(a) for a in argv]
+    else:
+        files = sorted({p for g in DEFAULT_GLOBS for p in REPO.glob(g)})
+    anchor_cache: dict = {}
+    problems = []
+    for path in files:
+        problems.extend(check_file(path, anchor_cache))
+    for problem in problems:
+        print(problem)
+    if not problems:
+        print(f"{len(files)} markdown files, all intra-doc links resolve")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,55 +1,108 @@
-"""Fill EXPERIMENTS.md placeholders from results/table1.json and table2.json."""
+"""Regenerate the Measured tables in EXPERIMENTS.md from results/*.json.
+
+The measured Table I / Table II blocks are wrapped in
+``<!-- fill:NAME -->`` / ``<!-- /fill:NAME -->`` markers; this script
+recomputes each block's ratio table from the results files and
+rewrites the text in between, so EXPERIMENTS.md can be refreshed after
+any bench rerun with ``python scripts/fill_experiments.py``.
+
+Both result shapes are accepted: the bare row list the early harness
+wrote (``results/table1.json``) and the full ``repro bench --out``
+payload (``{"rows": [...], "supervisor": {...}, ...}``) of the
+supervised sweep era.
+"""
 
 from __future__ import annotations
 
 import json
+import os
+import re
 import sys
 
-from repro.evalrt.report import MetricRow, ratio_row
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.evalrt.report import MetricRow, ratio_row  # noqa: E402
+
+EXPERIMENTS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "EXPERIMENTS.md"
+)
 
 
-def _load(path):
+def load_rows(path: str) -> list:
+    """Rows from either a bare list or a ``bench --out`` payload dict."""
     with open(path) as fh:
-        return [MetricRow(r["design"], r["placer"], r["metrics"]) for r in json.load(fh)]
+        doc = json.load(fh)
+    if isinstance(doc, dict):
+        rows = doc.get("rows")
+        if rows is None:
+            raise SystemExit(
+                f"{path}: payload dict has no 'rows' key "
+                f"(keys: {', '.join(sorted(doc))})"
+            )
+    else:
+        rows = doc
+    return [MetricRow(r["design"], r["placer"], r["metrics"]) for r in rows]
+
+
+def _ordered_placers(rows: list) -> list:
+    """Placer names in first-appearance order."""
+    seen: list = []
+    for row in rows:
+        if row.placer not in seen:
+            seen.append(row.placer)
+    return seen
+
+
+def ratio_table(rows: list, reference: str, keys: tuple,
+                bold: str | None = None, label: str = "Placer") -> str:
+    """Markdown ratio table (reference placer normalised to 1.00)."""
+    ratios = ratio_row(rows, reference, keys=keys)
+    lines = [
+        f"| {label} | " + " | ".join(keys) + " |",
+        "|" + "---|" * (len(keys) + 1),
+    ]
+    for placer in _ordered_placers(rows):
+        cells = []
+        for key in keys:
+            value = f"{ratios[placer][key]:.2f}"
+            if key == bold and placer != reference:
+                value = f"**{value}**"
+            cells.append(value)
+        lines.append(f"| {placer} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def fill_block(text: str, name: str, body: str) -> str:
+    """Replace the contents between the ``fill:name`` markers."""
+    pattern = re.compile(
+        rf"(<!-- fill:{re.escape(name)} -->\n).*?(\n<!-- /fill:{re.escape(name)} -->)",
+        re.S,
+    )
+    if not pattern.search(text):
+        raise SystemExit(f"EXPERIMENTS.md: missing <!-- fill:{name} --> markers")
+    return pattern.sub(lambda m: m.group(1) + body + m.group(2), text)
 
 
 def main() -> int:
-    text = open("EXPERIMENTS.md").read()
+    """Recompute every measured block and rewrite EXPERIMENTS.md."""
+    text = open(EXPERIMENTS).read()
 
-    t1 = _load("results/table1.json")
-    r1 = ratio_row(t1, "Ours")
-    mapping = {
-        "{T1_XP_DRWL}": f"{r1['Xplace']['DRWL']:.2f}",
-        "{T1_XP_VIAS}": f"{r1['Xplace']['#DRVias']:.2f}",
-        "{T1_XP_DRVS}": f"**{r1['Xplace']['#DRVs']:.2f}**",
-        "{T1_XP_PT}": f"{r1['Xplace']['PT']:.2f}",
-        "{T1_XP_RT}": f"{r1['Xplace']['RT']:.2f}",
-        "{T1_XR_DRWL}": f"{r1['Xplace-Route']['DRWL']:.2f}",
-        "{T1_XR_VIAS}": f"{r1['Xplace-Route']['#DRVias']:.2f}",
-        "{T1_XR_DRVS}": f"**{r1['Xplace-Route']['#DRVs']:.2f}**",
-        "{T1_XR_PT}": f"{r1['Xplace-Route']['PT']:.2f}",
-        "{T1_XR_RT}": f"{r1['Xplace-Route']['RT']:.2f}",
-    }
+    t1 = load_rows("results/table1.json")
+    text = fill_block(
+        text, "table1",
+        ratio_table(t1, "Ours", keys=("DRWL", "#DRVias", "#DRVs", "PT", "RT"),
+                    bold="#DRVs"))
 
-    t2 = _load("results/table2.json")
-    r2 = ratio_row(t2, "+MCI+DC+DPA", keys=("DRWL", "#DRVias", "#DRVs"))
-    mapping.update(
-        {
-            "{T2_B_DRWL}": f"{r2['baseline']['DRWL']:.2f}",
-            "{T2_B_VIAS}": f"{r2['baseline']['#DRVias']:.2f}",
-            "{T2_B_DRVS}": f"{r2['baseline']['#DRVs']:.2f}",
-            "{T2_M_DRWL}": f"{r2['+MCI']['DRWL']:.2f}",
-            "{T2_M_VIAS}": f"{r2['+MCI']['#DRVias']:.2f}",
-            "{T2_M_DRVS}": f"{r2['+MCI']['#DRVs']:.2f}",
-            "{T2_D_DRWL}": f"{r2['+MCI+DC']['DRWL']:.2f}",
-            "{T2_D_VIAS}": f"{r2['+MCI+DC']['#DRVias']:.2f}",
-            "{T2_D_DRVS}": f"{r2['+MCI+DC']['#DRVs']:.2f}",
-        }
-    )
-    for k, v in mapping.items():
-        text = text.replace(k, v)
-    open("EXPERIMENTS.md", "w").write(text)
-    print("EXPERIMENTS.md updated")
+    t2 = load_rows("results/table2.json")
+    text = fill_block(
+        text, "table2",
+        ratio_table(t2, "+MCI+DC+DPA", keys=("DRWL", "#DRVias", "#DRVs"),
+                    label="Configuration"))
+
+    open(EXPERIMENTS, "w").write(text)
+    print("EXPERIMENTS.md measured tables regenerated")
     return 0
 
 

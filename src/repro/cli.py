@@ -13,6 +13,8 @@ serve   run the placement-as-a-service daemon (see repro.service)
 submit  queue a place/route job on a running daemon
 status  show daemon queue state or one job's status
 cancel  request cancellation of a queued/running job
+dse     design-space exploration: run/submit grid sweeps, ingest and
+        query the sqlite run database, render HTML reports
 
 ``place`` and ``route`` accept ``--check-invariants {off,warn,raise}``
 to arm the numeric-contract layer (see :mod:`repro.utils.contracts`);
@@ -320,6 +322,125 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1 if result.errors() else 0
 
 
+def _cmd_dse_run(args: argparse.Namespace) -> int:
+    """Expand a grid spec and run every unit, persisting results."""
+    from repro.dse.grid import load_spec
+    from repro.dse.runner import run_grid
+
+    spec = load_spec(args.grid)
+    result = run_grid(
+        spec,
+        jobs=args.jobs,
+        out_dir=args.out_dir,
+        db_path=args.db,
+        job_timeout=args.job_timeout,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_retries=args.job_retries,
+    )
+    for unit_id, error in result.errors:
+        print(f"FAILED {unit_id}:\n{error}")
+    print(f"sweep {spec.name}: {len(result.units)} units, "
+          f"{len(result.errors)} failed, wall {result.elapsed_s:.1f}s")
+    print(f"wrote unit payloads to {args.out_dir}")
+    if args.db:
+        print(f"ingested into {args.db}")
+    return 1 if result.errors else 0
+
+
+def _cmd_dse_submit(args: argparse.Namespace) -> int:
+    """Submit a grid's units to a running ``repro serve`` daemon."""
+    from repro.dse.grid import load_spec
+    from repro.dse.runner import submit_grid
+
+    spec = load_spec(args.grid)
+    entries = submit_grid(spec, root=args.root, priority=args.priority)
+    for entry in entries:
+        print(f"queued {entry['job_id']}")
+    print(f"submitted {len(entries)} units from sweep {spec.name}")
+    return 0
+
+
+def _cmd_dse_ingest(args: argparse.Namespace) -> int:
+    """Ingest payloads / telemetry / bench snapshots into the run DB."""
+    from pathlib import Path
+
+    from repro.dse.store import RunDB
+
+    files: list = []
+    for raw in args.paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.json")) + sorted(p.rglob("*.jsonl")))
+        else:
+            files.append(p)
+
+    metrics = None
+    sink = None
+    if args.metrics_out:
+        from repro.utils.metrics import JsonlSink, MetricsRegistry
+
+        sink = JsonlSink(args.metrics_out)
+        metrics = MetricsRegistry(sink=sink)
+        metrics.start_run(command="dse.ingest", db=args.db)
+
+    new = 0
+    with RunDB(args.db) as db:
+        for path in files:
+            fresh = db.ingest_path(path)
+            new += int(fresh)
+            if metrics is not None:
+                metrics.emit("dse.ingest", source=str(path),
+                             source_kind=path.suffix.lstrip("."), new=fresh)
+            print(f"{'ingested' if fresh else 'skipped (already ingested)'} {path}")
+    if metrics is not None:
+        metrics.close()
+    print(f"{new} new of {len(files)} sources → {args.db}")
+    return 0
+
+
+def _cmd_dse_query(args: argparse.Namespace) -> int:
+    """Run one query against the run DB and print JSON."""
+    import json
+
+    from repro.dse.store import RunDB
+
+    with RunDB(args.db) as db:
+        if args.what == "summary":
+            out = db.summary()
+        elif args.what == "best":
+            if not args.metric:
+                raise SystemExit("error: query best needs --metric")
+            out = db.best_by(args.metric, placer=args.placer,
+                             minimize=not args.maximize, limit=args.limit)
+        elif args.what == "trend":
+            if not (args.metric and args.knob):
+                raise SystemExit("error: query trend needs --knob and --metric")
+            out = db.trend(args.knob, args.metric, placer=args.placer)
+        else:  # compare
+            if not args.runs:
+                raise SystemExit("error: query compare needs --runs A B")
+            out = db.compare(args.runs[0], args.runs[1])
+    print(json.dumps(out, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_dse_report(args: argparse.Namespace) -> int:
+    """Render the static HTML report from the run DB (+ bench history)."""
+    from pathlib import Path
+
+    from repro.dse.report import render_report
+    from repro.dse.store import RunDB
+
+    with RunDB(args.db) as db:
+        if args.results:
+            results = Path(args.results)
+            for path in sorted(results.glob("*.json")):
+                db.ingest_bench_json(path)
+        path = render_report(db, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -490,6 +611,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tol", type=float, default=1e-4,
                    help="maximum allowed relative error per check")
     p.set_defaults(func=_cmd_gradcheck)
+
+    p = sub.add_parser(
+        "dse", help="design-space exploration: grid sweeps, run DB, reports")
+    dse = p.add_subparsers(dest="dse_command", required=True)
+
+    q = dse.add_parser("run", help="expand a grid spec and run every unit")
+    q.add_argument("--grid", required=True, help="grid spec (.json or .toml)")
+    q.add_argument("--jobs", type=int, default=1,
+                   help="supervised worker processes (<=1 runs in-process)")
+    q.add_argument("--out-dir", default="dse_out",
+                   help="directory for unit payloads + manifest")
+    q.add_argument("--db", default=None, help="sqlite run database to ingest into")
+    q.add_argument("--job-timeout", type=float, default=None)
+    q.add_argument("--heartbeat-timeout", type=float, default=None)
+    q.add_argument("--job-retries", type=int, default=1)
+    q.set_defaults(func=_cmd_dse_run)
+
+    q = dse.add_parser("submit", help="submit a grid to a running daemon")
+    q.add_argument("--grid", required=True)
+    q.add_argument("--root", required=True, help="service root directory")
+    q.add_argument("--priority", type=int, default=0)
+    q.set_defaults(func=_cmd_dse_submit)
+
+    q = dse.add_parser("ingest", help="ingest payloads/telemetry/bench JSON")
+    q.add_argument("--db", required=True)
+    q.add_argument("paths", nargs="+",
+                   help="files or directories (*.json / *.jsonl)")
+    q.add_argument("--metrics-out", default=None,
+                   help="write dse.ingest telemetry JSONL here")
+    q.set_defaults(func=_cmd_dse_ingest)
+
+    q = dse.add_parser("query", help="query the run database")
+    q.add_argument("what", choices=("summary", "best", "trend", "compare"))
+    q.add_argument("--db", required=True)
+    q.add_argument("--metric", default=None)
+    q.add_argument("--knob", default=None)
+    q.add_argument("--placer", default=None)
+    q.add_argument("--maximize", action="store_true",
+                   help="rank best descending (default ascending)")
+    q.add_argument("--limit", type=int, default=10)
+    q.add_argument("--runs", nargs=2, metavar=("RUN_A", "RUN_B"),
+                   help="two run ids (compare)")
+    q.set_defaults(func=_cmd_dse_query)
+
+    q = dse.add_parser("report", help="render the static HTML report")
+    q.add_argument("--db", required=True)
+    q.add_argument("--out", default="dse_report")
+    q.add_argument("--results", default=None,
+                   help="also ingest results/*.json bench history first")
+    q.set_defaults(func=_cmd_dse_report)
 
     p = sub.add_parser("eval", help="score a placed design")
     p.add_argument("input")

@@ -1,0 +1,406 @@
+"""Static HTML+SVG report renderer for the DSE run database.
+
+Renders, with no third-party dependencies (same spirit as
+``scripts/build_docs.py``'s fallback builder), a single self-contained
+``index.html`` holding:
+
+* knob-trend line charts (mean QoR metric vs knob value) with a data
+  table beside every chart;
+* best-run leaderboards per metric;
+* RD round-trajectory charts for sampled units;
+* perf-regression tables diffing the two newest ingested
+  ``results/BENCH_*.json`` snapshots per family/metric.
+
+Chart styling follows the validated reference palette: categorical
+slots in fixed order (blue, orange, aqua — capped at three series),
+2px lines, >=8px markers with native ``<title>`` tooltips, hairline
+grids, text in ink tokens (never series colors), one value axis per
+chart, a legend only when a chart has two or more series, and a dark
+mode that swaps in the palette's dark steps via CSS custom properties.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+from pathlib import Path
+
+#: Fixed categorical order (validated all-pairs for up to three series).
+SERIES_VARS = ("var(--series-1)", "var(--series-2)", "var(--series-3)")
+
+#: QoR metrics charted by default, in display order.
+PREFERRED_METRICS = ("#DRVs", "DRWL", "#DRVias", "PT", "RT")
+
+_STYLE = """
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --delta-good: #006300;
+  --delta-bad: #d03b3b;
+  --border: rgba(11,11,11,0.10);
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --delta-good: #0ca30c;
+    --delta-bad: #d03b3b;
+    --border: rgba(255,255,255,0.10);
+  }
+}
+.viz-root {
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--text-primary);
+  margin: 0; padding: 24px; line-height: 1.45;
+}
+.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
+.viz-root h2 { font-size: 16px; margin: 28px 0 8px; }
+.viz-root h3 { font-size: 13px; margin: 16px 0 6px; color: var(--text-secondary); }
+.viz-root p.sub { color: var(--text-secondary); margin: 0 0 16px; font-size: 13px; }
+.viz-root .card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 6px; padding: 12px 14px; margin: 10px 0; overflow-x: auto;
+}
+.viz-root .row { display: flex; flex-wrap: wrap; gap: 12px; align-items: flex-start; }
+.viz-root table { border-collapse: collapse; font-size: 12px; }
+.viz-root th, .viz-root td {
+  padding: 3px 10px; text-align: right;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+.viz-root th {
+  color: var(--text-secondary); font-weight: 600; text-align: right;
+  border-bottom: 1px solid var(--baseline);
+}
+.viz-root th:first-child, .viz-root td:first-child { text-align: left; }
+.viz-root td.good { color: var(--delta-good); }
+.viz-root td.bad { color: var(--delta-bad); }
+.viz-root .stat { display: inline-block; margin-right: 28px; }
+.viz-root .stat .v { font-size: 22px; font-weight: 600; }
+.viz-root .stat .k { font-size: 12px; color: var(--text-secondary); }
+.viz-root svg text { font-family: inherit; }
+"""
+
+
+def _fmt(value) -> str:
+    """Compact human formatting for axis ticks and table cells."""
+    if value is None:
+        return "—"
+    if isinstance(value, str):
+        return value
+    v = float(value)
+    if v != v:  # NaN
+        return "—"
+    if v == int(v) and abs(v) < 1e7:
+        return str(int(v))
+    if abs(v) >= 1000:
+        return f"{v:,.0f}"
+    if abs(v) >= 1:
+        return f"{v:.3g}"
+    return f"{v:.3g}"
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list:
+    """Round tick positions covering [lo, hi] (nice-number stepping)."""
+    if hi <= lo:
+        pad = abs(lo) * 0.05 or 1.0
+        lo, hi = lo - pad, hi + pad
+    span = hi - lo
+    raw = span / max(n - 1, 1)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if step >= raw:
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step * 0.5:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def svg_line_chart(series: list, title: str, x_label: str, y_label: str,
+                   width: int = 560, height: int = 280) -> str:
+    """Render series ``[(name, [(x, y), ...]), ...]`` as an SVG line chart.
+
+    One value axis; up to three series in fixed palette order; legend
+    only when two or more series are present; markers carry native
+    ``<title>`` tooltips as the hover layer.
+    """
+    series = [(n, [(float(x), float(y)) for x, y in pts]) for n, pts in series
+              if pts][:len(SERIES_VARS)]
+    if not series:
+        return ""
+    ml, mr, mt, mb = 64, 16, 30, 44
+    pw, ph = width - ml - mr, height - mt - mb
+    xs = [x for _, pts in series for x, _ in pts]
+    ys = [y for _, pts in series for _, y in pts]
+    xt = _nice_ticks(min(xs), max(xs), 5)
+    yt = _nice_ticks(min(ys), max(ys), 5)
+    x0, x1, y0, y1 = xt[0], xt[-1], yt[0], yt[-1]
+
+    def X(x):
+        return ml + (x - x0) / (x1 - x0 or 1) * pw
+
+    def Y(y):
+        return mt + ph - (y - y0) / (y1 - y0 or 1) * ph
+
+    e = html.escape
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" height="{height}"'
+        f' role="img" aria-label="{e(title)}">',
+        f'<title>{e(title)}</title>',
+        f'<text x="{ml}" y="16" font-size="13" font-weight="600"'
+        f' fill="var(--text-primary)">{e(title)}</text>',
+    ]
+    for t in yt:
+        y = Y(t)
+        parts.append(f'<line x1="{ml}" y1="{y:.1f}" x2="{ml + pw}" y2="{y:.1f}"'
+                     ' stroke="var(--grid)" stroke-width="1"/>')
+        parts.append(f'<text x="{ml - 8}" y="{y + 3.5:.1f}" font-size="11"'
+                     ' text-anchor="end" fill="var(--text-muted)"'
+                     f'>{e(_fmt(t))}</text>')
+    for t in xt:
+        x = X(t)
+        parts.append(f'<text x="{x:.1f}" y="{mt + ph + 16}" font-size="11"'
+                     ' text-anchor="middle" fill="var(--text-muted)"'
+                     f'>{e(_fmt(t))}</text>')
+    parts.append(f'<line x1="{ml}" y1="{mt + ph}" x2="{ml + pw}" y2="{mt + ph}"'
+                 ' stroke="var(--baseline)" stroke-width="1"/>')
+    parts.append(f'<text x="{ml + pw / 2:.1f}" y="{height - 8}" font-size="11"'
+                 f' text-anchor="middle" fill="var(--text-secondary)">{e(x_label)}</text>')
+    parts.append(f'<text x="14" y="{mt + ph / 2:.1f}" font-size="11"'
+                 ' text-anchor="middle" fill="var(--text-secondary)"'
+                 f' transform="rotate(-90 14 {mt + ph / 2:.1f})">{e(y_label)}</text>')
+    for i, (name, pts) in enumerate(series):
+        color = SERIES_VARS[i]
+        path = " ".join(f"{X(x):.1f},{Y(y):.1f}" for x, y in pts)
+        parts.append(f'<polyline points="{path}" fill="none" stroke="{color}"'
+                     ' stroke-width="2" stroke-linejoin="round"/>')
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{X(x):.1f}" cy="{Y(y):.1f}" r="4" fill="{color}"'
+                f' stroke="var(--surface-1)" stroke-width="2">'
+                f'<title>{e(name)}: {e(_fmt(x))} → {e(_fmt(y))}</title></circle>')
+    if len(series) >= 2:
+        lx = ml + 8
+        for i, (name, _) in enumerate(series):
+            parts.append(f'<rect x="{lx}" y="{mt - 6}" width="10" height="10"'
+                         f' rx="2" fill="{SERIES_VARS[i]}"/>')
+            parts.append(f'<text x="{lx + 14}" y="{mt + 3}" font-size="11"'
+                         f' fill="var(--text-secondary)">{e(name)}</text>')
+            lx += 14 + 7 * len(name) + 18
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _table(headers: list, rows: list, classes: dict | None = None) -> str:
+    """Render an HTML table; ``classes`` maps (row, col) to a css class."""
+    e = html.escape
+    out = ["<table><thead><tr>"]
+    out.extend(f"<th>{e(str(h))}</th>" for h in headers)
+    out.append("</tr></thead><tbody>")
+    for ri, row in enumerate(rows):
+        out.append("<tr>")
+        for ci, cell in enumerate(row):
+            cls = (classes or {}).get((ri, ci))
+            attr = f' class="{cls}"' if cls else ""
+            out.append(f"<td{attr}>{e(_fmt(cell))}</td>")
+        out.append("</tr>")
+    out.append("</tbody></table>")
+    return "".join(out)
+
+
+def lower_is_better(metric: str) -> bool:
+    """Whether smaller values of a metric are improvements."""
+    m = metric.lower()
+    if "speedup" in m:
+        return False
+    return True
+
+
+def _trend_sections(db) -> list:
+    """Knob-trend chart+table cards, one per (knob, metric) pair."""
+    metrics = [m for m in PREFERRED_METRICS if m in db.metric_names()]
+    sections = []
+    for knob in db.knob_names():
+        cards = []
+        for metric in metrics:
+            points = db.trend(knob, metric)
+            if len(points) < 2:
+                continue
+            numeric = all(p["value_num"] is not None for p in points)
+            chart = ""
+            if numeric:
+                chart = svg_line_chart(
+                    [(metric, [(p["value_num"], p["mean"]) for p in points])],
+                    f"{metric} vs {knob}", knob, f"mean {metric}")
+            table = _table(
+                [knob, f"mean {metric}", "runs"],
+                [[_fmt(p["value"]), p["mean"], p["n"]] for p in points])
+            cards.append(f'<div class="card">{chart}{table}</div>')
+        if cards:
+            sections.append(
+                f"<h3>{html.escape(knob)}</h3><div class=\"row\">"
+                + "".join(cards) + "</div>")
+    return sections
+
+
+def _best_sections(db) -> list:
+    """Leaderboard tables for each preferred metric present."""
+    sections = []
+    for metric in PREFERRED_METRICS:
+        hits = db.best_by(metric, minimize=lower_is_better(metric), limit=5)
+        if not hits:
+            continue
+        rows = [[h["run_id"], h["value"],
+                 "; ".join(f"{k}={_fmt(v)}" for k, v in sorted(h["knobs"].items()))
+                 or "—"] for h in hits]
+        sections.append(
+            f"<h3>best {html.escape(metric)} "
+            f"({'min' if lower_is_better(metric) else 'max'})</h3>"
+            '<div class="card">'
+            + _table(["run", metric, "knobs"], rows) + "</div>")
+    return sections
+
+
+def _round_sections(db, max_units: int = 2) -> list:
+    """RD round-trajectory charts for the first few units with rounds."""
+    unit_ids = [r[0] for r in db.conn.execute(
+        "SELECT DISTINCT unit_id FROM rounds ORDER BY unit_id")][:max_units]
+    sections = []
+    for unit_id in unit_ids:
+        rounds = db.unit_rounds(unit_id)
+        if len(rounds) < 2:
+            continue
+        cards = []
+        for metric in ("mean_congestion", "total_overflow", "hpwl"):
+            pts = [(r["round"], r[metric]) for r in rounds
+                   if r[metric] is not None]
+            if len(pts) < 2:
+                continue
+            chart = svg_line_chart([(metric, pts)],
+                                   f"{metric} by RD round", "round", metric,
+                                   width=420, height=240)
+            cards.append(f'<div class="card">{chart}</div>')
+        if cards:
+            sections.append(f"<h3>{html.escape(unit_id)}</h3>"
+                            f'<div class="row">{"".join(cards)}</div>')
+    return sections
+
+
+def _regression_sections(db) -> list:
+    """Perf tables diffing the two newest bench snapshots per family."""
+    sections = []
+    by_family: dict = {}
+    for family, metric in db.bench_families():
+        by_family.setdefault(family, []).append(metric)
+    for family, metrics in sorted(by_family.items()):
+        rows, classes = [], {}
+        for metric in metrics:
+            for label, hist in sorted(db.bench_series(family, metric).items()):
+                if not hist:
+                    continue
+                latest_file, latest = hist[-1]
+                prev = hist[-2][1] if len(hist) >= 2 else None
+                delta = latest - prev if prev is not None else None
+                cell = "—"
+                if delta is not None and prev:
+                    pct = 100.0 * delta / abs(prev)
+                    arrow = "▲" if delta > 0 else ("▼" if delta < 0 else "·")
+                    cell = f"{arrow} {pct:+.1f}%"
+                    good = (delta < 0) == lower_is_better(metric)
+                    if delta != 0:
+                        classes[(len(rows), 4)] = "good" if good else "bad"
+                rows.append([f"{label} · {metric}", prev, latest,
+                             latest_file, cell])
+        if rows:
+            sections.append(
+                f"<h3>{html.escape(family)}</h3><div class=\"card\">"
+                + _table(["series", "previous", "latest", "snapshot", "Δ"],
+                         rows, classes) + "</div>")
+    return sections
+
+
+def render_report(db, out_dir, title: str = "DSE report") -> Path:
+    """Write the full report to ``out_dir/index.html``; return its path."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    summary = db.summary()
+    counts = summary["counts"]
+    e = html.escape
+
+    stats = "".join(
+        f'<span class="stat"><span class="v">{counts[k]}</span><br/>'
+        f'<span class="k">{e(label)}</span></span>'
+        for k, label in (("units", "sweep units"), ("runs", "runs"),
+                         ("metrics", "metric values"), ("rounds", "RD rounds"),
+                         ("bench_payloads", "bench snapshots")))
+    sweeps = ", ".join(s for s in summary["sweeps"] if s) or "—"
+
+    body = [
+        f"<h1>{e(title)}</h1>",
+        f'<p class="sub">sweeps: {e(sweeps)} · generated by <code>repro dse report</code>'
+        " · every chart has its data table; deltas carry a direction glyph.</p>",
+        f'<div class="card">{stats}</div>',
+    ]
+    trend = _trend_sections(db)
+    if trend:
+        body.append("<h2>Knob trends</h2>")
+        body.extend(trend)
+    best = _best_sections(db)
+    if best:
+        body.append("<h2>Best runs</h2>")
+        body.extend(best)
+    rounds = _round_sections(db)
+    if rounds:
+        body.append("<h2>RD round trajectories</h2>")
+        body.extend(rounds)
+    regression = _regression_sections(db)
+    if regression:
+        body.append("<h2>Bench history</h2>")
+        body.extend(regression)
+    if len(body) == 3:
+        body.append("<p class=\"sub\">database is empty — ingest unit payloads "
+                    "or bench snapshots first.</p>")
+
+    page = (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\"/>"
+        f"<title>{e(title)}</title>"
+        "<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\"/>"
+        f"<style>{_STYLE}</style></head>"
+        f"<body class=\"viz-root\">{''.join(body)}</body></html>\n")
+    path = out / "index.html"
+    path.write_text(page)
+    return path
+
+
+def render_report_json(db) -> str:
+    """Machine-readable summary mirroring the HTML report's contents."""
+    return json.dumps({
+        "summary": db.summary(),
+        "knobs": db.knob_names(),
+        "metrics": db.metric_names(),
+        "bench_files": db.bench_files(),
+    }, indent=2, sort_keys=True)

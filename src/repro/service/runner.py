@@ -131,7 +131,10 @@ class PlaceRequest:
     exist so service jobs and tests can bound flow length); ``None``
     keeps the config defaults, which is what the bare CLI passes.
     ``metrics_buffer_lines`` only affects write batching of the JSONL
-    sink, never the resulting bytes.
+    sink, never the resulting bytes.  ``overrides`` is a DSE knob
+    mapping (:data:`repro.dse.grid.KNOBS` names) layered on top of the
+    request-level settings — it is how ``repro dse submit`` sweeps
+    parameter grids through a running daemon.
     """
 
     input: str
@@ -145,6 +148,7 @@ class PlaceRequest:
     check_invariants: str | None = None
     kernel_backend: str | None = None
     metrics_buffer_lines: int = 256
+    overrides: dict | None = None
 
 
 @dataclass
@@ -247,9 +251,16 @@ def run_place_job(req: PlaceRequest, netlist=None) -> PlaceOutcome:
             rd_kwargs["max_rounds"] = req.rounds
         if req.iters_per_round is not None:
             rd_kwargs["iters_per_round"] = req.iters_per_round
+        rd = RDConfig(gp=gp, **rd_kwargs)
+        if req.overrides:
+            from repro.dse.grid import apply_knobs
+
+            binding = apply_knobs(req.overrides, gp_base=gp, rd_base=rd)
+            gp, rd = binding.gp_config, binding.rd_config
+            if binding.kernel_backend is not None:
+                configure_kernels(binding.kernel_backend, metrics)
         placer = RoutabilityDrivenPlacer(
-            netlist, RDConfig(gp=gp, **rd_kwargs),
-            profiler=profiler, metrics=metrics,
+            netlist, rd, profiler=profiler, metrics=metrics,
         )
         result = placer.run(
             checkpoint_path=req.checkpoint,
@@ -262,6 +273,13 @@ def run_place_job(req: PlaceRequest, netlist=None) -> PlaceOutcome:
         congestion = result.final_routing.congestion_map
         grid = placer.gp.grid
     else:
+        if req.overrides:
+            from repro.dse.grid import apply_knobs
+
+            binding = apply_knobs(req.overrides, gp_base=gp)
+            gp = binding.gp_config
+            if binding.kernel_backend is not None:
+                configure_kernels(binding.kernel_backend, metrics)
         initial_placement(netlist, gp.seed)
         converge_placement(netlist, gp, profiler=profiler, metrics=metrics)
         congestion = None
@@ -380,7 +398,7 @@ def run_route_job(req: RouteRequest, netlist=None) -> RouteOutcome:
 #: (output / checkpoint / metrics paths) is daemon-owned.
 CLIENT_PLACE_FIELDS = (
     "input", "routability", "iters", "rounds", "iters_per_round",
-    "check_invariants", "kernel_backend",
+    "check_invariants", "kernel_backend", "overrides",
 )
 CLIENT_ROUTE_FIELDS = (
     "input", "grid", "engine", "check_invariants", "kernel_backend",
@@ -426,6 +444,14 @@ def validate_job_payload(payload: dict) -> str:
         raise ValueError(
             f"unknown request field(s) for kind {kind!r}: {', '.join(unknown)}"
         )
+    overrides = request.get("overrides")
+    if overrides is not None:
+        from repro.dse.grid import validate_knobs
+
+        try:
+            validate_knobs(overrides)
+        except ValueError as exc:
+            raise ValueError(f"bad 'overrides': {exc}") from exc
     return kind
 
 

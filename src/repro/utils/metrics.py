@@ -46,7 +46,13 @@ from dataclasses import dataclass, field
 
 from repro.utils.clock import Clock, SystemClock
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions :func:`validate_event` accepts.  v2 added the ``dse.*``
+#: kinds (sweep expansion / sharding / run-database ingest) on top of
+#: v1 without changing any existing kind's envelope or fields, so v1
+#: streams remain fully readable.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: Required per-kind fields beyond the ``v``/``seq``/``kind`` envelope.
 #: Unknown kinds are accepted by validation; known kinds must carry at
@@ -109,6 +115,10 @@ EVENT_FIELDS: dict = {
     "contract.violation": ("site", "contract", "detail"),
     # one per kernel-backend selection (see repro.kernels.configure)
     "kernel.backend": ("requested", "resolved", "numba_available"),
+    # design-space-exploration sweeps (see repro.dse) — schema v2
+    "dse.sweep": ("sweep", "n_units", "n_points", "n_designs"),
+    "dse.shard": ("sweep", "unit", "index", "design"),
+    "dse.ingest": ("source", "source_kind", "new"),
     # one per global-routing pass
     "route.pass": (
         "n_segments",
@@ -504,7 +514,7 @@ def validate_event(event: dict) -> None:
     for key in ("v", "seq", "kind"):
         if key not in event:
             raise MetricsError(f"event missing envelope key {key!r}: {event!r}")
-    if event["v"] != SCHEMA_VERSION:
+    if event["v"] not in SUPPORTED_SCHEMA_VERSIONS:
         raise MetricsError(f"unsupported schema version {event['v']!r}")
     if not isinstance(event["seq"], int) or event["seq"] < 0:
         raise MetricsError(f"seq must be a non-negative int: {event['seq']!r}")

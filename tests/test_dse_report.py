@@ -1,0 +1,88 @@
+"""Report rendering on the golden mini-database."""
+
+from __future__ import annotations
+
+from repro.dse.report import (
+    lower_is_better,
+    render_report,
+    render_report_json,
+    svg_line_chart,
+)
+from repro.dse.store import RunDB
+
+from tests.test_dse_store import load_golden
+
+
+def golden_db() -> RunDB:
+    db = RunDB(":memory:")
+    load_golden(db)
+    return db
+
+
+class TestSvgChart:
+    def test_empty_series_renders_nothing(self):
+        assert svg_line_chart([], "t", "x", "y") == ""
+        assert svg_line_chart([("a", [])], "t", "x", "y") == ""
+
+    def test_single_series_has_no_legend(self):
+        svg = svg_line_chart([("only", [(0, 1), (1, 2)])], "t", "x", "y")
+        assert svg.startswith("<svg")
+        assert "<polyline" in svg and "<circle" in svg
+        assert "<rect" not in svg  # legend swatches only appear for >= 2
+
+    def test_two_series_get_legend_in_palette_order(self):
+        svg = svg_line_chart(
+            [("a", [(0, 1), (1, 2)]), ("b", [(0, 2), (1, 1)])], "t", "x", "y")
+        assert svg.count("<rect") == 2
+        assert svg.index("var(--series-1)") < svg.index("var(--series-2)")
+
+    def test_degenerate_flat_series(self):
+        svg = svg_line_chart([("a", [(0, 5), (1, 5)])], "t", "x", "y")
+        assert "<polyline" in svg and "NaN" not in svg
+
+    def test_markers_carry_tooltips(self):
+        svg = svg_line_chart([("a", [(0, 1)])], "t", "x", "y")
+        assert "<title>a: 0 → 1</title>" in svg
+
+
+class TestDirection:
+    def test_lower_is_better(self):
+        assert lower_is_better("DRWL")
+        assert lower_is_better("reference_ms")
+        assert not lower_is_better("speedup")
+        assert not lower_is_better("density_speedup")
+
+
+class TestRenderReport:
+    def test_golden_render_contents(self, tmp_path):
+        with golden_db() as db:
+            path = render_report(db, tmp_path / "rep")
+        text = path.read_text()
+        assert path.name == "index.html"
+        assert "<svg" in text and "<table" in text
+        assert "Knob trends" in text and "inflation.alpha" in text
+        assert "Best runs" in text
+        assert "RD round trajectories" in text
+        assert "Bench history" in text
+        # regression deltas carry a direction glyph, not color alone
+        assert "▲" in text or "▼" in text
+        # text wears ink tokens; series colors only on marks
+        assert 'fill="var(--series-1)"' in text
+        assert "--delta-good" in text
+
+    def test_render_is_deterministic(self, tmp_path):
+        with golden_db() as db:
+            a = render_report(db, tmp_path / "a").read_text()
+        with golden_db() as db:
+            b = render_report(db, tmp_path / "b").read_text()
+        assert a == b
+
+    def test_empty_db_renders_placeholder(self, tmp_path):
+        with RunDB(":memory:") as db:
+            path = render_report(db, tmp_path / "rep")
+        assert "database is empty" in path.read_text()
+
+    def test_json_summary(self):
+        with golden_db() as db:
+            text = render_report_json(db)
+        assert '"inflation.alpha"' in text and '"BENCH_mini_0.json"' in text

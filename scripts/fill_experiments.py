@@ -85,6 +85,37 @@ def fill_block(text: str, name: str, body: str) -> str:
     return pattern.sub(lambda m: m.group(1) + body + m.group(2), text)
 
 
+def eco_table(path: str) -> str:
+    """Markdown QoR-delta block from ``results/eco_qor.json``.
+
+    Two rows (the incremental flow and the cold full re-place of the
+    same edited design) over the comparable QoR axes, plus a context
+    line describing the edit and the dirty region.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    eco, full = doc["eco"], doc["full"]
+    lines = [
+        f"Design `{doc['design']}` ({doc['n_cells']} cells, "
+        f"util {doc['utilization']}), edit: {doc['edit']} "
+        f"({doc['n_edits']} edit -> {doc['n_dirty_cells']} dirty cells, "
+        f"{doc['n_dirty_nets']} dirty nets).",
+        "",
+        "| Flow | HPWL | overflow | RD rounds | wall-clock s | legal |",
+        "|---|---|---|---|---|---|",
+    ]
+    for name, side in (("`repro eco`", eco), ("cold full re-place", full)):
+        legal = "CLEAN" if side["legal_issues"] == 0 else f"{side['legal_issues']} issues"
+        lines.append(
+            f"| {name} | {side['hpwl']:.0f} | {side['total_overflow']:.2f} "
+            f"| {side['rounds']} | {side['elapsed_s']:.3f} | {legal} |"
+        )
+    lines.append(
+        f"\nHPWL ratio (eco / full): **{doc['hpwl_ratio']:.3f}**."
+    )
+    return "\n".join(lines)
+
+
 def main() -> int:
     """Recompute every measured block and rewrite EXPERIMENTS.md."""
     text = open(EXPERIMENTS).read()
@@ -100,6 +131,8 @@ def main() -> int:
         text, "table2",
         ratio_table(t2, "+MCI+DC+DPA", keys=("DRWL", "#DRVias", "#DRVs"),
                     label="Configuration"))
+
+    text = fill_block(text, "eco", eco_table("results/eco_qor.json"))
 
     open(EXPERIMENTS, "w").write(text)
     print("EXPERIMENTS.md measured tables regenerated")

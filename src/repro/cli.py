@@ -95,6 +95,32 @@ def _cmd_place(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_eco(args: argparse.Namespace) -> int:
+    from repro.service.runner import EcoRequest, run_eco_job
+
+    outcome = run_eco_job(EcoRequest(
+        input=args.input,
+        baseline=args.baseline,
+        baseline_checkpoint=args.baseline_checkpoint,
+        out=args.out,
+        checkpoint=args.checkpoint,
+        rounds=args.rounds,
+        iters_per_round=args.iters_per_round,
+        halo=args.halo,
+        compare=args.compare,
+        metrics_out=args.metrics_out,
+        check_invariants=args.check_invariants,
+        kernel_backend=args.kernel_backend,
+    ))
+    for line in outcome.summary_lines():
+        print(line)
+    if outcome.report:
+        print(outcome.report)
+    if args.profile:
+        print(outcome.profiler.report("stage profile (wall-clock)"))
+    return 0
+
+
 def _cmd_route(args: argparse.Namespace) -> int:
     from repro.service.runner import RouteRequest, run_route_job
 
@@ -156,6 +182,18 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             request["rounds"] = args.rounds
         if args.iters_per_round is not None:
             request["iters_per_round"] = args.iters_per_round
+    elif args.kind == "eco":
+        if not args.baseline:
+            raise SystemExit("error: --kind eco requires --baseline")
+        request["baseline"] = os.path.abspath(args.baseline)
+        if args.baseline_checkpoint:
+            request["baseline_checkpoint"] = os.path.abspath(
+                args.baseline_checkpoint
+            )
+        if args.rounds is not None:
+            request["rounds"] = args.rounds
+        if args.iters_per_round is not None:
+            request["iters_per_round"] = args.iters_per_round
     entry = client.submit(request, kind=args.kind, priority=args.priority)
     print(f"queued {entry['job_id']} (seq {entry['seq']}, "
           f"priority {entry['priority']})")
@@ -176,6 +214,9 @@ def _format_entry(entry: dict) -> str:
         elif result.get("kind") == "route":
             line += (f" wirelength={result['wirelength']:.0f} "
                      f"overflow={result['total_overflow']:.0f}")
+        elif result.get("kind") == "eco":
+            line += (f" hpwl={result['hpwl']:.0f} "
+                     f"rounds={result['n_rounds']} -> {result['out']}")
     if entry.get("error"):
         line += f"\n  error: {entry['error'].strip().splitlines()[-1]}"
     return line
@@ -488,6 +529,48 @@ def build_parser() -> argparse.ArgumentParser:
                         "numba falls back to reference when unavailable)")
     p.set_defaults(func=_cmd_place)
 
+    p = sub.add_parser(
+        "eco",
+        help="incrementally re-place an edited design from a baseline",
+    )
+    p.add_argument("baseline",
+                   help="the baseline design, ideally a placed output so "
+                        "the clean region inherits legal positions")
+    p.add_argument("input", help="the edited design")
+    p.add_argument("--baseline-checkpoint", default=None, metavar="PATH",
+                   help="the baseline flow's npz checkpoint; its best "
+                        "snapshot seeds the warm start, and a null edit "
+                        "resumes it bit-identically")
+    p.add_argument("--out", default="eco_placed.bl")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="the ECO loop's own checkpoint: written after each "
+                        "round, resumed from if the file exists")
+    p.add_argument("--rounds", type=int, default=None, metavar="N",
+                   help="cap the ECO routability loop at N rounds")
+    p.add_argument("--iters-per-round", type=int, default=None, metavar="N",
+                   help="GP iterations per ECO round")
+    p.add_argument("--halo", type=int, default=1, metavar="BINS",
+                   help="G-cell halo dilated around edited cells when "
+                        "marking the dirty region (default 1)")
+    p.add_argument("--compare", action="store_true",
+                   help="also run a cold full re-place of the edited design "
+                        "and report the QoR delta (slow; for validation)")
+    p.add_argument("--profile", action="store_true",
+                   help="print the per-stage wall-clock breakdown")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="stream run telemetry to PATH as JSONL and print "
+                        "the metrics report")
+    p.add_argument("--check-invariants", choices=("off", "warn", "raise"),
+                   default=None,
+                   help="numeric-contract checking mode (default: the "
+                        "REPRO_CHECK_INVARIANTS environment variable, or off)")
+    p.add_argument("--kernel-backend",
+                   choices=("auto", "reference", "fastnp", "numba"),
+                   default=None,
+                   help="hot-path kernel backend (default: the "
+                        "REPRO_KERNEL_BACKEND environment variable, or auto)")
+    p.set_defaults(func=_cmd_eco)
+
     p = sub.add_parser("route", help="route a placed design")
     p.add_argument("input")
     p.add_argument("--grid", type=int, default=0)
@@ -578,9 +661,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input", help="design file to place/route")
     p.add_argument("--root", required=True, metavar="DIR",
                    help="the daemon's service root")
-    p.add_argument("--kind", choices=("place", "route"), default="place")
+    p.add_argument("--kind", choices=("place", "route", "eco"),
+                   default="place")
     p.add_argument("--routability", action="store_true",
                    help="full routability flow (place jobs)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="baseline design file (eco jobs)")
+    p.add_argument("--baseline-checkpoint", default=None, metavar="PATH",
+                   help="baseline flow checkpoint (eco jobs)")
     p.add_argument("--iters", type=int, default=None)
     p.add_argument("--rounds", type=int, default=None)
     p.add_argument("--iters-per-round", type=int, default=None)

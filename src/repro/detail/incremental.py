@@ -4,6 +4,16 @@ Detailed placement evaluates thousands of candidate moves; recomputing
 the whole-design HPWL each time would dominate runtime.
 :class:`IncrementalWirelength` re-evaluates only the nets incident to
 the cells that moved.
+
+Degenerate nets
+---------------
+Nets with fewer than two pins have **zero** HPWL by definition, in both
+this oracle (:meth:`IncrementalWirelength.nets_hpwl` skips them) and the
+full-design evaluator (:func:`repro.wirelength.hpwl.hpwl_per_net` masks
+``degrees < 2`` to ``0.0``).  The two evaluators therefore agree exactly
+on every netlist, including ones with floating pins or single-pin stub
+nets, and ``delta_for_move`` equals the full-recompute HPWL delta (a
+property test in ``tests/test_detail.py`` pins this down).
 """
 
 from __future__ import annotations
@@ -31,7 +41,11 @@ class IncrementalWirelength:
         return np.unique(nl.pin_net[pins])
 
     def nets_hpwl(self, net_ids: np.ndarray) -> float:
-        """Total HPWL of the given nets at current positions."""
+        """Total HPWL of the given nets at current positions.
+
+        Degree-<2 nets contribute ``0.0``, matching
+        :func:`repro.wirelength.hpwl.hpwl_per_net` (see module docstring).
+        """
         nl = self.netlist
         total = 0.0
         for e in net_ids:
@@ -44,23 +58,37 @@ class IncrementalWirelength:
         return total
 
     def delta_for_move(self, cell_id: int, new_x: float, new_y: float) -> float:
-        """HPWL change if ``cell_id`` moved to ``(new_x, new_y)``."""
+        """HPWL change if ``cell_id`` moved to ``(new_x, new_y)``.
+
+        The trial position is applied in place and restored under
+        ``finally``: even if the evaluation raises (e.g. a contracts
+        ``raise``-mode violation), the netlist is left exactly as found.
+        """
         nl = self.netlist
         nets = self.nets_of_cells([cell_id])
         before = self.nets_hpwl(nets)
         old = (nl.x[cell_id], nl.y[cell_id])
         nl.x[cell_id], nl.y[cell_id] = new_x, new_y
-        after = self.nets_hpwl(nets)
-        nl.x[cell_id], nl.y[cell_id] = old
+        try:
+            after = self.nets_hpwl(nets)
+        finally:
+            nl.x[cell_id], nl.y[cell_id] = old
         return after - before
 
     def delta_for_swap(self, a: int, b: int) -> float:
-        """HPWL change if cells ``a`` and ``b`` exchanged positions."""
+        """HPWL change if cells ``a`` and ``b`` exchanged positions.
+
+        Like :meth:`delta_for_move`, the trial swap is restored under
+        ``finally`` so a mid-evaluation exception cannot corrupt the
+        netlist.
+        """
         nl = self.netlist
         nets = self.nets_of_cells([a, b])
         before = self.nets_hpwl(nets)
         ax, ay, bx, by = nl.x[a], nl.y[a], nl.x[b], nl.y[b]
         nl.x[a], nl.y[a], nl.x[b], nl.y[b] = bx, by, ax, ay
-        after = self.nets_hpwl(nets)
-        nl.x[a], nl.y[a], nl.x[b], nl.y[b] = ax, ay, bx, by
+        try:
+            after = self.nets_hpwl(nets)
+        finally:
+            nl.x[a], nl.y[a], nl.x[b], nl.y[b] = ax, ay, bx, by
         return after - before

@@ -14,7 +14,7 @@ from repro.route.config import RouterConfig
 from repro.route.grid import RoutingGrid
 from repro.route.decompose import decompose_net, decompose_netlist, segment_endpoints
 from repro.route.patterns import PatternRouter, RoutedPath, RoutedPathBatch
-from repro.route.router import GlobalRouter, RoutingResult
+from repro.route.router import DemandSnapshot, GlobalRouter, RoutingResult
 from repro.route.congestion import CongestionData, congestion_from_demand
 from repro.route.maze import maze_route
 from repro.route.rudy import pin_rudy_map, rudy_map
@@ -29,6 +29,7 @@ __all__ = [
     "PatternRouter",
     "RoutedPath",
     "RoutedPathBatch",
+    "DemandSnapshot",
     "GlobalRouter",
     "RoutingResult",
     "CongestionData",

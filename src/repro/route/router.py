@@ -60,6 +60,27 @@ class _Segment:
 
 
 @dataclass
+class DemandSnapshot:
+    """Frozen demand maps from a prior routing pass.
+
+    Used as the *base load* of a partial (ECO) pass: the snapshot's
+    demand is pre-committed into the fresh :class:`RoutingGrid` before
+    any segment routes, so the routed subset sees the frozen nets'
+    congestion in its cost maps without re-routing them.
+    """
+
+    h: np.ndarray
+    v: np.ndarray
+    via: np.ndarray
+
+    @classmethod
+    def from_result(cls, result: "RoutingResult") -> "DemandSnapshot":
+        """Copy the demand maps out of a finished pass."""
+        g = result.grid
+        return cls(h=g.h_demand.copy(), v=g.v_demand.copy(), via=g.via_demand.copy())
+
+
+@dataclass
 class RoutingResult:
     """Outcome of one global routing pass.
 
@@ -104,8 +125,21 @@ class GlobalRouter:
         self._pass_fallbacks = 0
 
     # ------------------------------------------------------------------
-    def route(self, netlist: Netlist) -> RoutingResult:
-        """Full routing pass at the current cell positions.
+    def route(
+        self,
+        netlist: Netlist,
+        net_ids: np.ndarray | None = None,
+        base_demand: DemandSnapshot | None = None,
+    ) -> RoutingResult:
+        """Routing pass at the current cell positions.
+
+        With the defaults this is a full pass over every net.  The ECO
+        flow uses the two optional arguments for partial
+        rip-up-and-reroute: ``net_ids`` restricts decomposition (and
+        pin-via demand) to the given nets, and ``base_demand`` pre-loads
+        a :class:`DemandSnapshot` of the frozen nets so the routed
+        subset competes against their congestion.  Only routed segments
+        are ever ripped up in RRR rounds; the base load is immutable.
 
         The batched engine never aborts the flow: a chunk that raises
         is retried segment-by-segment (see :meth:`_route_chunks`), and
@@ -117,11 +151,11 @@ class GlobalRouter:
         self._pass_fallbacks = 0
         with self.profiler.timer("route.total"):
             if self.config.engine == "scalar":
-                result = self._route_scalar(netlist)
+                result = self._route_scalar(netlist, net_ids, base_demand)
             else:
                 try:
                     faults.fire("route.batched")
-                    result = self._route_batched(netlist)
+                    result = self._route_batched(netlist, net_ids, base_demand)
                 except Exception:
                     logger.exception(
                         "batched routing engine failed; falling back to the "
@@ -129,7 +163,7 @@ class GlobalRouter:
                     )
                     self.profiler.count("route.engine_fallbacks")
                     self._pass_fallbacks += 1
-                    result = self._route_scalar(netlist)
+                    result = self._route_scalar(netlist, net_ids, base_demand)
                     result.n_fallbacks = self._pass_fallbacks
         if CONTRACTS.enabled:
             # both engines commit demand through the same accounting;
@@ -172,15 +206,21 @@ class GlobalRouter:
     # ==================================================================
     # batched engine
     # ==================================================================
-    def _route_batched(self, netlist: Netlist) -> RoutingResult:
+    def _route_batched(
+        self,
+        netlist: Netlist,
+        net_ids: np.ndarray | None = None,
+        base_demand: DemandSnapshot | None = None,
+    ) -> RoutingResult:
         cfg = self.config
         prof = self.profiler
         rgrid = RoutingGrid(self.grid, cfg, netlist)
+        self._apply_base_demand(rgrid, base_demand)
 
         with prof.timer("route.decompose"):
-            batch = self._collect_segment_batch(netlist)
+            batch = self._collect_segment_batch(netlist, net_ids)
         prof.count("route.segments", len(batch))
-        self._add_pin_via_demand(rgrid, netlist)
+        self._add_pin_via_demand(rgrid, netlist, net_ids)
 
         with prof.timer("route.initial"):
             self._route_chunks(rgrid, batch, np.arange(len(batch), dtype=np.int64))
@@ -205,15 +245,32 @@ class GlobalRouter:
 
         return self._result_batched(rgrid, batch, overrides)
 
-    def _collect_segment_batch(self, netlist: Netlist) -> RoutedPathBatch:
-        """All two-pin segments as arrays, sorted by bbox span.
+    @staticmethod
+    def _apply_base_demand(
+        rgrid: RoutingGrid, base_demand: DemandSnapshot | None
+    ) -> None:
+        """Pre-commit a frozen-net demand snapshot into a fresh grid."""
+        if base_demand is None:
+            return
+        rgrid.h_demand += base_demand.h
+        rgrid.v_demand += base_demand.v
+        rgrid.via_demand += base_demand.via
+
+    def _collect_segment_batch(
+        self, netlist: Netlist, net_ids: np.ndarray | None = None
+    ) -> RoutedPathBatch:
+        """Two-pin segments as arrays, sorted by bbox span.
 
         Short segments first: they have no routing freedom anyway and
         longer segments then see realistic congestion.  The sort is
         stable, so equal-span segments keep net order, matching the
-        scalar engine's ``list.sort``.
+        scalar engine's ``list.sort``.  ``net_ids`` restricts the batch
+        to segments of the given nets (partial ECO pass).
         """
         nets, x1, y1, x2, y2 = segment_endpoints(netlist, self.config.topology)
+        if net_ids is not None:
+            keep = np.isin(nets, net_ids)
+            nets, x1, y1, x2, y2 = nets[keep], x1[keep], y1[keep], x2[keep], y2[keep]
         i1, j1 = self.grid.index_of(x1, y1)
         i2, j2 = self.grid.index_of(x2, y2)
         span = np.abs(i2 - i1) + np.abs(j2 - j1)
@@ -378,14 +435,20 @@ class GlobalRouter:
     # ==================================================================
     # scalar reference engine
     # ==================================================================
-    def _route_scalar(self, netlist: Netlist) -> RoutingResult:
+    def _route_scalar(
+        self,
+        netlist: Netlist,
+        net_ids: np.ndarray | None = None,
+        base_demand: DemandSnapshot | None = None,
+    ) -> RoutingResult:
         cfg = self.config
         prof = self.profiler
         rgrid = RoutingGrid(self.grid, cfg, netlist)
+        self._apply_base_demand(rgrid, base_demand)
         with prof.timer("route.decompose"):
-            segments = self._collect_segments(netlist)
+            segments = self._collect_segments(netlist, net_ids)
         prof.count("route.segments", len(segments))
-        self._add_pin_via_demand(rgrid, netlist)
+        self._add_pin_via_demand(rgrid, netlist, net_ids)
 
         # short segments first: they have no routing freedom anyway and
         # longer segments then see realistic congestion
@@ -450,8 +513,13 @@ class GlobalRouter:
                 self._commit(rgrid, seg)
 
     # ------------------------------------------------------------------
-    def _collect_segments(self, netlist: Netlist) -> list:
+    def _collect_segments(
+        self, netlist: Netlist, net_ids: np.ndarray | None = None
+    ) -> list:
         nets, x1, y1, x2, y2 = segment_endpoints(netlist, self.config.topology)
+        if net_ids is not None:
+            keep = np.isin(nets, net_ids)
+            nets, x1, y1, x2, y2 = nets[keep], x1[keep], y1[keep], x2[keep], y2[keep]
         i1, j1 = self.grid.index_of(x1, y1)
         i2, j2 = self.grid.index_of(x2, y2)
         return [
@@ -459,10 +527,20 @@ class GlobalRouter:
             for e, a, b, c, d in zip(nets, i1, j1, i2, j2)
         ]
 
-    def _add_pin_via_demand(self, rgrid: RoutingGrid, netlist: Netlist) -> None:
+    def _add_pin_via_demand(
+        self,
+        rgrid: RoutingGrid,
+        netlist: Netlist,
+        net_ids: np.ndarray | None = None,
+    ) -> None:
         if self.config.pin_via_demand <= 0 or netlist.n_pins == 0:
             return
         px, py = netlist.pin_positions()
+        if net_ids is not None:
+            keep = np.isin(netlist.pin_net, net_ids)
+            px, py = px[keep], py[keep]
+            if px.size == 0:
+                return
         i, j = self.grid.index_of(px, py)
         flat = np.bincount(
             i * self.grid.ny + j,

@@ -5,7 +5,10 @@ re-parses its design and rebuilds the spectral workspaces the density
 solver needs.  A long-lived daemon keeps both warm:
 
 * **Netlist cache** (this module): parsed designs keyed by ``(abspath,
-  mtime_ns, size)`` so an edited file is never served stale.  Lookups
+  mtime_ns, size, sha256)`` so an edited file is never served stale —
+  the content digest catches same-size rewrites on filesystems with
+  coarse timestamp granularity, where ``st_mtime_ns`` alone cannot
+  distinguish a rewrite landing in the same tick.  Lookups
   hand out :meth:`~repro.netlist.netlist.Netlist.copy` snapshots —
   positions are deep-copied, topology shared read-only — so one job's
   placement never leaks into the next.
@@ -22,6 +25,7 @@ warms per worker the same way.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import threading
 from collections import OrderedDict
@@ -44,16 +48,23 @@ class ServiceCache:
 
     @staticmethod
     def _key(path: str):
+        # (abspath, mtime_ns, size) is not enough on its own: a rewrite
+        # that lands within the filesystem's timestamp granularity with
+        # the same byte count is indistinguishable by stat, so the key
+        # also carries a digest of the bytes.  Hashing is cheap next to
+        # parsing, which is what the cache actually amortizes.
         stat = os.stat(path)
-        return (os.path.abspath(path), stat.st_mtime_ns, stat.st_size)
+        with open(path, "rb") as fh:
+            digest = hashlib.sha256(fh.read()).hexdigest()
+        return (os.path.abspath(path), stat.st_mtime_ns, stat.st_size, digest)
 
     def netlist(self, path: str):
         """A private copy of the parsed design at ``path``.
 
         Parses (and structurally validates) on miss, serves a
         :meth:`~repro.netlist.netlist.Netlist.copy` snapshot on hit.
-        A changed file (different mtime/size) is a miss — the stale
-        parse ages out of the LRU.
+        A changed file (different mtime/size/content digest) is a miss
+        — the stale parse ages out of the LRU.
         """
         from repro.service.runner import load_validated
 

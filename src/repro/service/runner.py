@@ -297,6 +297,187 @@ def run_place_job(req: PlaceRequest, netlist=None) -> PlaceOutcome:
 
 
 # ----------------------------------------------------------------------
+# eco
+# ----------------------------------------------------------------------
+@dataclass
+class EcoRequest:
+    """One ``repro eco`` work order (CLI flags as data).
+
+    ``input`` is the **edited** design; ``baseline`` is the design it
+    was edited from, ideally a placed output (``repro place``'s
+    ``--out`` file) so the clean region inherits legal positions.
+    ``baseline_checkpoint`` optionally names the baseline flow's npz
+    checkpoint — its best snapshot seeds the warm start, and a null
+    edit then resumes it bit-identically.  ``checkpoint`` is the ECO
+    loop's own resume point (daemon-owned for service jobs).
+    ``compare`` additionally runs a cold full re-place of the edited
+    design and reports the QoR delta (``eco.compare`` telemetry).
+    """
+
+    input: str
+    baseline: str = ""
+    baseline_checkpoint: str | None = None
+    out: str = "eco_placed.bl"
+    checkpoint: str | None = None
+    rounds: int | None = None
+    iters_per_round: int | None = None
+    halo: int = 1
+    compare: bool = False
+    metrics_out: str | None = None
+    check_invariants: str | None = None
+    kernel_backend: str | None = None
+    metrics_buffer_lines: int = 256
+
+
+@dataclass
+class EcoOutcome:
+    """What an ECO job produced (the CLI prints :meth:`summary_lines`)."""
+
+    out: str
+    hpwl: float = 0.0
+    total_overflow: float = 0.0
+    n_issues: int = 0
+    n_rounds: int = 0
+    resumed: bool = False
+    n_edits: int = 0
+    n_dirty_cells: int = 0
+    n_dirty_nets: int = 0
+    n_seeded: int = 0
+    warm_source: str = ""
+    compare: dict | None = None
+    report: str | None = None
+    profiler: object = None
+
+    def summary_lines(self) -> list:
+        """The human-readable result lines."""
+        lines = [
+            f"edits: {self.n_edits} -> dirty cells: {self.n_dirty_cells} "
+            f"dirty nets: {self.n_dirty_nets} (warm start: {self.warm_source})",
+            f"eco rounds: {self.n_rounds}"
+            + (" (resumed baseline checkpoint)" if self.resumed else ""),
+        ]
+        legality = "CLEAN" if not self.n_issues else f"{self.n_issues} issues"
+        lines.append(
+            f"hpwl={self.hpwl:.0f} overflow={self.total_overflow:.0f} "
+            f"legality={legality}"
+        )
+        if self.compare:
+            c = self.compare
+            lines.append(
+                f"vs full re-place: hpwl_ratio={c['hpwl_ratio']:.4f} "
+                f"overflow {c['full_overflow']:.0f} -> {c['eco_overflow']:.0f} "
+                f"rounds {c['full_rounds']} -> {c['eco_rounds']}"
+            )
+        lines.append(f"wrote {self.out}")
+        return lines
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (what service clients see as the result)."""
+        result = {
+            "kind": "eco",
+            "out": self.out,
+            "hpwl": self.hpwl,
+            "total_overflow": self.total_overflow,
+            "n_issues": self.n_issues,
+            "n_rounds": self.n_rounds,
+            "resumed": self.resumed,
+            "n_edits": self.n_edits,
+            "n_dirty_cells": self.n_dirty_cells,
+            "n_dirty_nets": self.n_dirty_nets,
+            "n_seeded": self.n_seeded,
+            "warm_source": self.warm_source,
+        }
+        if self.compare is not None:
+            result["compare"] = self.compare
+        return result
+
+
+def run_eco_job(req: EcoRequest, netlist=None) -> EcoOutcome:
+    """Run one complete ECO flow (the body of ``repro eco``).
+
+    ``netlist`` short-circuits the load of the **edited** design with
+    an already-parsed copy (the daemon's warm cache); the baseline is
+    always loaded from ``req.baseline``.
+    """
+    from repro.core import RDConfig
+    from repro.eco import EcoConfig, eco_place, full_replace
+    from repro.io import save_design
+    from repro.legalize import check_legal
+    from repro.place import GPConfig
+    from repro.utils.profile import StageProfiler
+
+    if not req.baseline:
+        raise SystemExit("error: eco requires a baseline design file")
+    if netlist is None:
+        netlist = load_validated(req.input)
+    baseline = load_validated(req.baseline)
+    profiler = StageProfiler()
+    resuming = req.checkpoint is not None and os.path.exists(req.checkpoint)
+    metrics, finish_metrics = open_metrics(
+        req.metrics_out,
+        "eco",
+        design=req.input,
+        resumed=resuming,
+        profiler=profiler,
+        buffer_lines=req.metrics_buffer_lines,
+    )
+    configure_contracts(req.check_invariants, metrics)
+    configure_kernels(req.kernel_backend, metrics)
+    rd_kwargs = {}
+    if req.rounds is not None:
+        rd_kwargs["max_rounds"] = req.rounds
+    if req.iters_per_round is not None:
+        rd_kwargs["iters_per_round"] = req.iters_per_round
+    rd = RDConfig(gp=GPConfig(), **rd_kwargs)
+    cfg = EcoConfig(rd=rd, halo_bins=req.halo)
+    result = eco_place(
+        netlist,
+        baseline,
+        cfg,
+        baseline_checkpoint=req.baseline_checkpoint,
+        checkpoint_path=req.checkpoint,
+        profiler=profiler,
+        metrics=metrics,
+    )
+    outcome = EcoOutcome(
+        out=req.out,
+        hpwl=result.hpwl,
+        total_overflow=result.total_overflow,
+        n_rounds=result.n_rounds,
+        resumed=result.resumed,
+        n_edits=result.diff.n_edits,
+        n_dirty_cells=result.region.n_dirty_cells,
+        n_dirty_nets=result.region.n_dirty_nets,
+        n_seeded=result.warm.n_seeded,
+        warm_source=result.warm.source,
+    )
+    outcome.n_issues = len(check_legal(netlist))
+    if req.compare:
+        cold = load_validated(req.input)
+        with profiler.timer("eco.compare"):
+            ref = full_replace(
+                cold, rd, detail_passes=cfg.detail_passes, profiler=profiler
+            )
+        outcome.compare = {
+            "eco_hpwl": result.hpwl,
+            "full_hpwl": ref["hpwl"],
+            "hpwl_ratio": (
+                result.hpwl / ref["hpwl"] if ref["hpwl"] else float("inf")
+            ),
+            "eco_overflow": result.total_overflow,
+            "full_overflow": ref["total_overflow"],
+            "eco_rounds": result.n_rounds,
+            "full_rounds": ref["rounds"],
+        }
+        if metrics.enabled:
+            metrics.emit("eco.compare", **outcome.compare)
+    save_design(netlist, req.out)
+    outcome.report = finish_metrics()
+    outcome.profiler = profiler
+    return outcome
+
+
+# ----------------------------------------------------------------------
 # route
 # ----------------------------------------------------------------------
 @dataclass
@@ -403,6 +584,10 @@ CLIENT_PLACE_FIELDS = (
 CLIENT_ROUTE_FIELDS = (
     "input", "grid", "engine", "check_invariants", "kernel_backend",
 )
+CLIENT_ECO_FIELDS = (
+    "input", "baseline", "baseline_checkpoint", "rounds", "iters_per_round",
+    "halo", "compare", "check_invariants", "kernel_backend",
+)
 
 
 @dataclass
@@ -418,6 +603,7 @@ def _shapes() -> dict:
     return {
         "place": _RequestShape(PlaceRequest, run_place_job, CLIENT_PLACE_FIELDS),
         "route": _RequestShape(RouteRequest, run_route_job, CLIENT_ROUTE_FIELDS),
+        "eco": _RequestShape(EcoRequest, run_eco_job, CLIENT_ECO_FIELDS),
     }
 
 
@@ -438,6 +624,8 @@ def validate_job_payload(payload: dict) -> str:
         raise ValueError("job payload must carry a 'request' object")
     if not request.get("input"):
         raise ValueError("job request must name an 'input' design file")
+    if kind == "eco" and not request.get("baseline"):
+        raise ValueError("eco job request must name a 'baseline' design file")
     allowed = set(shapes[kind].client_fields)
     unknown = sorted(set(request) - allowed)
     if unknown:
@@ -458,9 +646,10 @@ def validate_job_payload(payload: dict) -> str:
 def execute_service_job(payload: dict, ctx=None, cache=None) -> dict:
     """Run one service job; the supervised worker / inline entry point.
 
-    ``payload`` is ``{"kind": "place"|"route", "request": {...}}``
+    ``payload`` is ``{"kind": "place"|"route"|"eco", "request": {...}}``
     with the request fields of :class:`PlaceRequest` /
-    :class:`RouteRequest` (the daemon has already filled in the
+    :class:`RouteRequest` / :class:`EcoRequest` (the daemon has
+    already filled in the
     output / checkpoint / metrics paths).  Module-level and
     argument-picklable so :class:`~repro.jobs.supervisor.Supervisor`
     workers can run it; ``ctx`` is the supervised runtime's

@@ -374,6 +374,16 @@ class PlacementService:
                 request.setdefault(
                     "checkpoint", os.path.join(jobdir, "flow.npz")
                 )
+        elif kind == "eco":
+            request["baseline"] = os.path.abspath(request["baseline"])
+            if request.get("baseline_checkpoint"):
+                request["baseline_checkpoint"] = os.path.abspath(
+                    request["baseline_checkpoint"]
+                )
+            request.setdefault("out", os.path.join(jobdir, "eco_placed.bl"))
+            # the ECO loop's own resume point: retries and daemon
+            # restarts warm-start from it like place jobs do
+            request.setdefault("checkpoint", os.path.join(jobdir, "flow.npz"))
         return {"kind": kind, "request": request}
 
     def request_cancel(self, job_id: str):

@@ -49,9 +49,10 @@ from repro.utils.clock import Clock, SystemClock
 SCHEMA_VERSION = 2
 
 #: Versions :func:`validate_event` accepts.  v2 added the ``dse.*``
-#: kinds (sweep expansion / sharding / run-database ingest) on top of
-#: v1 without changing any existing kind's envelope or fields, so v1
-#: streams remain fully readable.
+#: kinds (sweep expansion / sharding / run-database ingest) and later,
+#: still additively, the ``eco.*`` kinds (incremental-placement flow)
+#: on top of v1 without changing any existing kind's envelope or
+#: fields, so v1 streams remain fully readable.
 SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: Required per-kind fields beyond the ``v``/``seq``/``kind`` envelope.
@@ -119,6 +120,34 @@ EVENT_FIELDS: dict = {
     "dse.sweep": ("sweep", "n_units", "n_points", "n_designs"),
     "dse.shard": ("sweep", "unit", "index", "design"),
     "dse.ingest": ("source", "source_kind", "new"),
+    # incremental / ECO placement (see repro.eco) — additive v2 kinds
+    "eco.diff": (
+        "n_added_cells",
+        "n_removed_cells",
+        "n_resized_cells",
+        "n_added_nets",
+        "n_removed_nets",
+        "n_rewired_nets",
+    ),
+    "eco.warm": ("source", "n_mapped", "n_seeded"),
+    "eco.region": ("n_dirty_cells", "n_dirty_nets", "n_bins", "dirty_fraction"),
+    "eco.place": (
+        "rounds",
+        "hpwl",
+        "total_overflow",
+        "n_dirty_cells",
+        "n_dirty_nets",
+        "resumed",
+    ),
+    "eco.compare": (
+        "eco_hpwl",
+        "full_hpwl",
+        "hpwl_ratio",
+        "eco_overflow",
+        "full_overflow",
+        "eco_rounds",
+        "full_rounds",
+    ),
     # one per global-routing pass
     "route.pass": (
         "n_segments",

@@ -25,13 +25,18 @@ def hpwl_per_net(netlist: Netlist, net_weights: np.ndarray | None = None) -> np.
 
     ox = px[order]
     oy = py[order]
-    # reduceat needs non-empty segments; mask out degenerate nets after.
-    safe_starts = np.minimum(starts, max(len(order) - 1, 0))
-    xmax = np.maximum.reduceat(ox, safe_starts) if len(order) else np.zeros(netlist.n_nets)
-    xmin = np.minimum.reduceat(ox, safe_starts) if len(order) else np.zeros(netlist.n_nets)
-    ymax = np.maximum.reduceat(oy, safe_starts) if len(order) else np.zeros(netlist.n_nets)
-    ymin = np.minimum.reduceat(oy, safe_starts) if len(order) else np.zeros(netlist.n_nets)
-    wl = (xmax - xmin) + (ymax - ymin)
+    # reduceat over the starts of the NON-empty nets only: their starts
+    # partition ``order`` exactly, because empty nets contribute no
+    # pins.  (Clamping an empty net's out-of-range start backwards —
+    # the previous implementation — split the preceding net's segment
+    # and silently dropped its pins from the max/min.)
+    wl = np.zeros(netlist.n_nets, dtype=np.float64)
+    nonempty = degrees > 0
+    if nonempty.any():
+        idx = starts[nonempty]
+        xspan = np.maximum.reduceat(ox, idx) - np.minimum.reduceat(ox, idx)
+        yspan = np.maximum.reduceat(oy, idx) - np.minimum.reduceat(oy, idx)
+        wl[nonempty] = xspan + yspan
     wl[degrees < 2] = 0.0
     if net_weights is not None:
         wl = wl * net_weights

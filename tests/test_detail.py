@@ -2,10 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.detail import IncrementalWirelength, detailed_place
-from repro.geometry import Grid2D
+from repro.geometry import Grid2D, Rect
 from repro.legalize import check_legal, legalize
+from repro.netlist import CellSpec, Netlist, NetSpec, PinSpec
 from repro.place import GlobalPlacer, GPConfig, initial_placement
 from repro.wirelength import hpwl
 
@@ -48,6 +51,53 @@ class TestIncrementalOracle:
         assert hpwl(legal_toy) - before == pytest.approx(delta, abs=1e-9)
 
 
+class TestIncrementalExceptionSafety:
+    """A mid-evaluation failure must not corrupt the netlist.
+
+    ``delta_for_move`` / ``delta_for_swap`` apply the trial position in
+    place; if the second ``nets_hpwl`` evaluation raises (contracts in
+    ``raise`` mode, a numerical guard, ...), the trial position must
+    still be rolled back.  These regressions fail on the pre-``finally``
+    implementation, which left the trial applied on the error path.
+    """
+
+    @staticmethod
+    def _failing_oracle(netlist):
+        oracle = IncrementalWirelength(netlist)
+        real = oracle.nets_hpwl
+        calls = {"n": 0}
+
+        def flaky(nets):
+            calls["n"] += 1
+            if calls["n"] == 2:  # the "after" evaluation, trial applied
+                raise RuntimeError("injected mid-evaluation failure")
+            return real(nets)
+
+        oracle.nets_hpwl = flaky
+        return oracle
+
+    def test_move_restores_position_when_evaluation_raises(self, legal_toy):
+        oracle = self._failing_oracle(legal_toy)
+        mv = np.flatnonzero(legal_toy.movable)
+        cell = int(mv[4])
+        x0, y0 = legal_toy.x[cell], legal_toy.y[cell]
+        with pytest.raises(RuntimeError, match="injected"):
+            oracle.delta_for_move(cell, x0 + 3.0, y0 + 1.0)
+        assert legal_toy.x[cell] == x0
+        assert legal_toy.y[cell] == y0
+
+    def test_swap_restores_positions_when_evaluation_raises(self, legal_toy):
+        oracle = self._failing_oracle(legal_toy)
+        mv = np.flatnonzero(legal_toy.movable)
+        a, b = int(mv[1]), int(mv[2])
+        ax, ay = legal_toy.x[a], legal_toy.y[a]
+        bx, by = legal_toy.x[b], legal_toy.y[b]
+        with pytest.raises(RuntimeError, match="injected"):
+            oracle.delta_for_swap(a, b)
+        assert (legal_toy.x[a], legal_toy.y[a]) == (ax, ay)
+        assert (legal_toy.x[b], legal_toy.y[b]) == (bx, by)
+
+
 class TestDetailedPlace:
     def test_hpwl_never_increases(self, legal_toy):
         before = hpwl(legal_toy)
@@ -81,3 +131,72 @@ class TestDetailedPlace:
         assert stats.passes == 2
         assert stats.shifts_applied >= 0
         assert stats.swaps_applied >= 0
+
+# ----------------------------------------------------------------------
+# property: the oracle agrees with the full evaluator on ANY netlist
+# ----------------------------------------------------------------------
+@st.composite
+def _random_netlists(draw):
+    """Small random netlists, degenerate nets included.
+
+    Degrees are drawn from 0..4 so empty nets and single-pin stubs —
+    the cases where the "skip degree<2" convention must match
+    ``hpwl_per_net`` masking them to zero — show up routinely, not as
+    rare corner draws.
+    """
+    n_cells = draw(st.integers(min_value=2, max_value=6))
+    coord = st.floats(min_value=0.5, max_value=19.5)
+    offset = st.floats(min_value=-0.5, max_value=0.5)
+    cells = [
+        CellSpec(
+            f"c{i}",
+            width=draw(st.floats(min_value=0.5, max_value=2.0)),
+            height=1.0,
+            x=draw(coord),
+            y=draw(coord),
+        )
+        for i in range(n_cells)
+    ]
+    n_nets = draw(st.integers(min_value=1, max_value=6))
+    nets = []
+    for e in range(n_nets):
+        degree = draw(st.integers(min_value=0, max_value=4))
+        pins = [
+            PinSpec(
+                f"c{draw(st.integers(min_value=0, max_value=n_cells - 1))}",
+                draw(offset),
+                draw(offset),
+            )
+            for _ in range(degree)
+        ]
+        nets.append(NetSpec(f"n{e}", pins))
+    netlist = Netlist.from_specs("prop", Rect(0, 0, 20, 20), cells, nets)
+    cell = draw(st.integers(min_value=0, max_value=n_cells - 1))
+    new_x = draw(coord)
+    new_y = draw(coord)
+    return netlist, cell, new_x, new_y
+
+
+class TestIncrementalOracleProperty:
+    @given(_random_netlists())
+    @settings(max_examples=150, deadline=None)
+    def test_move_delta_equals_full_recompute(self, case):
+        netlist, cell, new_x, new_y = case
+        oracle = IncrementalWirelength(netlist)
+        before = hpwl(netlist)
+        delta = oracle.delta_for_move(cell, new_x, new_y)
+        netlist.x[cell] = new_x
+        netlist.y[cell] = new_y
+        assert hpwl(netlist) - before == pytest.approx(delta, abs=1e-9)
+
+    @given(_random_netlists())
+    @settings(max_examples=75, deadline=None)
+    def test_swap_delta_equals_full_recompute(self, case):
+        netlist, a, _, _ = case
+        b = (a + 1) % netlist.n_cells
+        oracle = IncrementalWirelength(netlist)
+        before = hpwl(netlist)
+        delta = oracle.delta_for_swap(a, b)
+        netlist.x[a], netlist.x[b] = netlist.x[b].copy(), netlist.x[a].copy()
+        netlist.y[a], netlist.y[b] = netlist.y[b].copy(), netlist.y[a].copy()
+        assert hpwl(netlist) - before == pytest.approx(delta, abs=1e-9)

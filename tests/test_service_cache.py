@@ -1,0 +1,91 @@
+"""ServiceCache correctness: staleness detection and snapshot isolation.
+
+The cache key must change whenever the file's *content* changes, even
+when ``os.stat`` cannot tell: a rewrite with the same byte count that
+lands within the filesystem's timestamp granularity leaves
+``(mtime_ns, size)`` identical.  The regression below pins the mtime
+explicitly with :func:`os.utime` to simulate exactly that, and fails
+against the pre-digest key.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.io.bookshelf import dumps_design, save_design
+from repro.service.cache import ServiceCache
+from repro.synth import toy_design
+
+
+def _write_design(path, netlist):
+    save_design(netlist, str(path))
+
+
+class TestCacheStaleness:
+    def test_same_size_rewrite_with_pinned_mtime_is_a_miss(self, tmp_path):
+        """A content rewrite invisible to stat() must still miss.
+
+        The second write moves one cell by swapping two equal-length
+        position fields, keeping the byte count identical, and then
+        restores the original ``st_mtime_ns`` — the strongest form of
+        the coarse-timestamp race.  Serving the cached parse here would
+        hand the daemon a stale design.
+        """
+        nl = toy_design(60, seed=11)
+        path = tmp_path / "design.bl"
+        text = dumps_design(nl)
+        path.write_text(text)
+        st = os.stat(path)
+
+        cache = ServiceCache()
+        first = cache.netlist(str(path))
+        assert cache.misses == 1
+
+        # same length, different content: swap the payloads of the
+        # first two cell lines (names stay in place, geometry swaps)
+        lines = text.splitlines()
+        idx = [i for i, ln in enumerate(lines) if ln.startswith("cell ")]
+        a, b = idx[0], idx[1]
+        pa, pb = lines[a].split(), lines[b].split()
+        pa[1:], pb[1:] = pb[1:], pa[1:]
+        lines[a], lines[b] = " ".join(pa), " ".join(pb)
+        new_text = "\n".join(lines) + ("\n" if text.endswith("\n") else "")
+        assert new_text != text
+        assert len(new_text.encode()) == len(text.encode())
+        path.write_text(new_text)
+        os.utime(path, ns=(st.st_atime_ns, st.st_mtime_ns))
+        after = os.stat(path)
+        assert after.st_mtime_ns == st.st_mtime_ns
+        assert after.st_size == st.st_size
+
+        second = cache.netlist(str(path))
+        assert cache.misses == 2, (
+            "rewritten file served from cache: the key does not see "
+            "content changes hidden from stat()"
+        )
+        assert not (
+            np.array_equal(first.x, second.x)
+            and np.array_equal(first.y, second.y)
+        )
+
+    def test_unchanged_file_hits(self, tmp_path):
+        nl = toy_design(60, seed=11)
+        path = tmp_path / "design.bl"
+        _write_design(path, nl)
+        cache = ServiceCache()
+        cache.netlist(str(path))
+        cache.netlist(str(path))
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_snapshots_are_private_copies(self, tmp_path):
+        nl = toy_design(60, seed=11)
+        path = tmp_path / "design.bl"
+        _write_design(path, nl)
+        cache = ServiceCache()
+        first = cache.netlist(str(path))
+        first.x[:] = -1.0
+        second = cache.netlist(str(path))
+        assert not np.array_equal(first.x, second.x)
